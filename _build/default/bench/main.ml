@@ -1,0 +1,236 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index) and runs Bechamel
+   micro-benchmarks of the building blocks.
+
+   Run with: dune exec bench/main.exe
+   Scale the workloads down for a quick pass with CTS_BENCH_SCALE=0.01. *)
+
+module E = Scenario.Experiments
+module R = Scenario.Report
+
+let scale =
+  match Sys.getenv_opt "CTS_BENCH_SCALE" with
+  | Some s -> (try max 0.001 (float_of_string s) with _ -> 1.)
+  | None -> 1.
+
+let scaled n = max 20 (int_of_float (float_of_int n *. scale))
+let ppf = Format.std_formatter
+let section name = Format.fprintf ppf "@.==== %s ====@.@." name
+
+(* ------------------------------------------------------------------ *)
+
+let bench_fig4 () =
+  section "E1 / Figure 4: worked example of the CCS algorithm";
+  R.fig4 ppf (E.fig4 ())
+
+let bench_token () =
+  section "M1: token-passing-time calibration (paper ref [20])";
+  R.token ppf (E.token_calibration ~rotations:(scaled 10_000) ())
+
+let bench_fig5 () =
+  section
+    "E2 / Figure 5: end-to-end latency with and without the consistent time \
+     service";
+  let invocations = scaled 10_000 in
+  Format.fprintf ppf "(%d invocations per run)@." invocations;
+  let with_cts = E.latency ~invocations ~use_cts:true () in
+  let without_cts = E.latency ~invocations ~use_cts:false () in
+  R.latency_pair ppf ~with_cts ~without_cts
+
+let bench_fig6_and_counts () =
+  section "E3-E6 / Figure 6: skew, drift and CCS message counts";
+  let rounds = scaled 10_000 in
+  Format.fprintf ppf "(%d clock-related operations per replica)@.@." rounds;
+  let run = E.skew ~rounds () in
+  R.fig6a ppf run ~rounds:20;
+  Format.fprintf ppf "@.";
+  R.fig6b ppf run ~rounds:20;
+  Format.fprintf ppf "@.";
+  R.fig6c ppf run ~rounds:20;
+  Format.fprintf ppf "@.";
+  R.msg_counts ppf run
+
+let bench_drift () =
+  section "A1: drift-compensation ablation (paper section 3.3)";
+  let rounds = scaled 2_000 in
+  let strategies =
+    [
+      ("no compensation", `No_compensation);
+      ("mean-delay (+50 us)", `Mean_delay 50);
+      ("anchored (gain 0.1)", `Anchored (0.1, 50));
+    ]
+  in
+  let runs =
+    List.map (fun (name, c) -> (name, E.skew ~rounds ~compensation:c ()))
+      strategies
+  in
+  R.drift_table ppf runs
+
+let bench_rollback () =
+  section "A2: clock roll-back on failover (paper section 1)";
+  let readings_per_phase = scaled 30 in
+  let baseline =
+    E.rollback ~readings_per_phase ~style:Repl.Replica.Semi_active
+      ~offset_tracking:false
+      ~clock_offset_us:(fun i -> -300_000 * (i - 1))
+      ()
+  in
+  let cts =
+    E.rollback ~readings_per_phase ~style:Repl.Replica.Semi_active
+      ~offset_tracking:true
+      ~clock_offset_us:(fun i -> -300_000 * (i - 1))
+      ()
+  in
+  R.rollback_pair ppf ~baseline ~cts
+
+let bench_group_size () =
+  section "A4: overhead vs replication degree";
+  let invocations = scaled 2_000 in
+  let rows =
+    List.map
+      (fun replicas ->
+        ( replicas,
+          E.latency ~invocations ~replicas ~use_cts:true (),
+          E.latency ~invocations ~replicas ~use_cts:false () ))
+      [ 2; 3; 4; 5 ]
+  in
+  R.group_size_table ppf rows
+
+let bench_recovery () =
+  section "A3: new-replica integration (paper section 3.2)";
+  R.recovery ppf (E.recovery ~readings:(scaled 40) ())
+
+let bench_delivery_mode () =
+  section "A5: agreed vs safe delivery (Totem delivery-guarantee ablation)";
+  let invocations = scaled 2_000 in
+  let run delivery =
+    E.latency ~invocations ~use_cts:true
+      ~totem_config:{ Totem.Config.default with delivery }
+      ()
+  in
+  let agreed = run Totem.Config.Agreed in
+  let safe = run Totem.Config.Safe in
+  Format.fprintf ppf "%-22s %-18s@." "delivery guarantee" "mean latency (us)";
+  Format.fprintf ppf "%-22s %-18.1f@." "agreed (paper's)"
+    (Stats.Summary.mean agreed.E.summary);
+  Format.fprintf ppf "%-22s %-18.1f@." "safe"
+    (Stats.Summary.mean safe.E.summary);
+  Format.fprintf ppf
+    "safe delivery stabilizes every message across the ring first; the      paper's CTS only needs agreed delivery@."
+
+let bench_causal () =
+  section "E7: causal group clocks across groups (paper section 5)";
+  R.causal ppf (E.causal ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the substrate                          *)
+
+let micro_tests () =
+  let open Bechamel in
+  let test_event_queue =
+    Test.make ~name:"event_queue push+pop x1000"
+      (Staged.stage (fun () ->
+           let q = Dsim.Event_queue.create () in
+           for i = 0 to 999 do
+             Dsim.Event_queue.push q (Dsim.Time.of_us (997 * i mod 5000)) i
+           done;
+           while not (Dsim.Event_queue.is_empty q) do
+             ignore (Dsim.Event_queue.pop q)
+           done))
+  in
+  let rng = Dsim.Rng.create 1L in
+  let test_rng =
+    Test.make ~name:"rng int_range x1000"
+      (Staged.stage (fun () ->
+           for _ = 1 to 1000 do
+             ignore (Dsim.Rng.int_range rng 0 1_000_000 : int)
+           done))
+  in
+  let test_engine =
+    Test.make ~name:"engine 1000 timer events"
+      (Staged.stage (fun () ->
+           let eng = Dsim.Engine.create () in
+           for i = 1 to 1000 do
+             Dsim.Engine.schedule eng (Dsim.Time.Span.of_us i) ignore
+           done;
+           Dsim.Engine.run eng))
+  in
+  let test_ccs_round =
+    Test.make ~name:"full CCS round (3 replicas, sim)"
+      (Staged.stage
+         (let counter = ref 0 in
+          fun () ->
+            incr counter;
+            let rounds =
+              E.skew ~seed:(Int64.of_int !counter) ~rounds:5 ()
+            in
+            ignore rounds))
+  in
+  let test_token_rotation =
+    Test.make ~name:"token rotation x100 (4-node ring, sim)"
+      (Staged.stage
+         (let counter = ref 0 in
+          fun () ->
+            incr counter;
+            ignore
+              (E.token_calibration ~seed:(Int64.of_int !counter)
+                 ~rotations:100 ()
+                : E.token_run)))
+  in
+  [
+    test_event_queue; test_rng; test_engine; test_ccs_round;
+    test_token_rotation;
+  ]
+
+let run_micro () =
+  section "Micro-benchmarks (Bechamel, wall-clock per call)";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let tests = Test.make_grouped ~name:"micro" ~fmt:"%s %s" (micro_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  let clock_results =
+    Hashtbl.find merged (Measure.label Toolkit.Instance.monotonic_clock)
+  in
+  Format.fprintf ppf "%-45s %s@." "benchmark" "time per call";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock_results [] in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ x ] -> x
+        | Some _ | None -> nan
+      in
+      let pretty =
+        if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+        else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+        else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+        else Printf.sprintf "%.0f ns" est
+      in
+      Format.fprintf ppf "%-45s %s@." name pretty)
+    (List.sort compare rows)
+
+let () =
+  Format.fprintf ppf
+    "Consistent Time Service reproduction benchmarks (scale=%.3g)@." scale;
+  bench_fig4 ();
+  bench_token ();
+  bench_fig5 ();
+  bench_fig6_and_counts ();
+  bench_drift ();
+  bench_rollback ();
+  bench_group_size ();
+  bench_recovery ();
+  bench_causal ();
+  bench_delivery_mode ();
+  run_micro ();
+  Format.fprintf ppf "@.done.@."

@@ -1,0 +1,191 @@
+(* ctsim — command-line driver for the consistent-time-service simulator.
+
+   Each subcommand runs one of the paper's experiments with adjustable
+   parameters and prints the same series the paper reports.  See DESIGN.md
+   for the experiment index. *)
+
+module E = Scenario.Experiments
+module R = Scenario.Report
+
+let ppf = Format.std_formatter
+
+open Cmdliner
+
+let seed =
+  let doc = "Root seed of the deterministic simulation." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let seed64 s = Int64.of_int s
+
+let replicas =
+  let doc = "Number of server replicas." in
+  Arg.(value & opt int 3 & info [ "replicas" ] ~docv:"N" ~doc)
+
+(* ------------------------------------------------------------------ *)
+
+let fig4_cmd =
+  let run () = R.fig4 ppf (E.fig4 ()) in
+  Cmd.v
+    (Cmd.info "fig4"
+       ~doc:"Re-enact the worked example of the paper's Figure 4 (section 3.4)")
+    Term.(const run $ const ())
+
+let fig5_cmd =
+  let invocations =
+    let doc = "Remote method invocations per run." in
+    Arg.(value & opt int 10_000 & info [ "invocations"; "n" ] ~docv:"N" ~doc)
+  in
+  let run seed replicas invocations =
+    let with_cts =
+      E.latency ~seed:(seed64 seed) ~invocations ~replicas ~use_cts:true ()
+    in
+    let without_cts =
+      E.latency ~seed:(seed64 seed) ~invocations ~replicas ~use_cts:false ()
+    in
+    R.latency_pair ppf ~with_cts ~without_cts
+  in
+  Cmd.v
+    (Cmd.info "fig5"
+       ~doc:
+         "Probability density of the end-to-end latency with and without \
+          the consistent time service (Figure 5)")
+    Term.(const run $ seed $ replicas $ invocations)
+
+let rounds_arg default =
+  let doc = "Clock-related operations per replica." in
+  Arg.(value & opt int default & info [ "rounds" ] ~docv:"N" ~doc)
+
+let show_arg =
+  let doc = "Rounds to print in the per-round tables." in
+  Arg.(value & opt int 20 & info [ "show" ] ~docv:"N" ~doc)
+
+let fig6_cmd =
+  let run seed replicas rounds show =
+    let r = E.skew ~seed:(seed64 seed) ~rounds ~replicas () in
+    R.fig6a ppf r ~rounds:show;
+    Format.fprintf ppf "@.";
+    R.fig6b ppf r ~rounds:show;
+    Format.fprintf ppf "@.";
+    R.fig6c ppf r ~rounds:show
+  in
+  Cmd.v
+    (Cmd.info "fig6"
+       ~doc:
+         "Skew and drift of the group clock: intervals, offset evolution, \
+          normalized clocks (Figure 6)")
+    Term.(const run $ seed $ replicas $ rounds_arg 10_000 $ show_arg)
+
+let msgcounts_cmd =
+  let run seed replicas rounds =
+    R.msg_counts ppf (E.skew ~seed:(seed64 seed) ~rounds ~replicas ())
+  in
+  Cmd.v
+    (Cmd.info "msgcounts"
+       ~doc:
+         "CCS messages sent per node under duplicate suppression (section \
+          4.3)")
+    Term.(const run $ seed $ replicas $ rounds_arg 10_000)
+
+let drift_cmd =
+  let gain =
+    let doc = "Gain of the anchored compensation strategy." in
+    Arg.(value & opt float 0.1 & info [ "gain" ] ~docv:"G" ~doc)
+  in
+  let mean_delay =
+    let doc = "Mean-delay compensation in microseconds." in
+    Arg.(value & opt int 150 & info [ "mean-delay" ] ~docv:"US" ~doc)
+  in
+  let run seed rounds gain mean_delay =
+    let s c = E.skew ~seed:(seed64 seed) ~rounds ~compensation:c () in
+    R.drift_table ppf
+      [
+        ("no compensation", s `No_compensation);
+        ( Printf.sprintf "mean-delay (+%d us)" mean_delay,
+          s (`Mean_delay mean_delay) );
+        ( Printf.sprintf "anchored (gain %g)" gain,
+          s (`Anchored (gain, 50)) );
+      ]
+  in
+  Cmd.v
+    (Cmd.info "drift"
+       ~doc:"Drift-compensation strategies ablation (section 3.3)")
+    Term.(const run $ seed $ rounds_arg 2_000 $ gain $ mean_delay)
+
+let rollback_cmd =
+  let skew_ms =
+    let doc = "Physical-clock skew per backup in milliseconds (behind)." in
+    Arg.(value & opt int 300 & info [ "skew-ms" ] ~docv:"MS" ~doc)
+  in
+  let run seed replicas skew_ms =
+    let offs i = -1000 * skew_ms * (i - 1) in
+    let go offset_tracking =
+      E.rollback ~seed:(seed64 seed) ~replicas
+        ~style:Repl.Replica.Semi_active ~offset_tracking
+        ~clock_offset_us:offs ()
+    in
+    R.rollback_pair ppf ~baseline:(go false) ~cts:(go true)
+  in
+  Cmd.v
+    (Cmd.info "rollback"
+       ~doc:
+         "Clock roll-back on primary failover: prior-work baseline vs the \
+          consistent time service (section 1)")
+    Term.(const run $ seed $ replicas $ skew_ms)
+
+let token_cmd =
+  let rotations =
+    let doc = "Token rotations to sample." in
+    Arg.(value & opt int 10_000 & info [ "rotations" ] ~docv:"N" ~doc)
+  in
+  let nodes =
+    let doc = "Ring size." in
+    Arg.(value & opt int 4 & info [ "nodes" ] ~docv:"N" ~doc)
+  in
+  let run seed rotations nodes =
+    R.token ppf (E.token_calibration ~seed:(seed64 seed) ~rotations ~nodes ())
+  in
+  Cmd.v
+    (Cmd.info "token"
+       ~doc:"Token-passing-time calibration of the simulated testbed")
+    Term.(const run $ seed $ rotations $ nodes)
+
+let recovery_cmd =
+  let readings =
+    let doc = "Client readings across the join." in
+    Arg.(value & opt int 40 & info [ "readings" ] ~docv:"N" ~doc)
+  in
+  let run seed readings =
+    R.recovery ppf (E.recovery ~seed:(seed64 seed) ~readings ())
+  in
+  Cmd.v
+    (Cmd.info "recovery"
+       ~doc:"Add a replica to a running group (state transfer, section 3.2)")
+    Term.(const run $ seed $ readings)
+
+let causal_cmd =
+  let run seed = R.causal ppf (E.causal ~seed:(seed64 seed) ()) in
+  Cmd.v
+    (Cmd.info "causal"
+       ~doc:
+         "Causal group-clock timestamps across two replicated groups           (section 5's proposed extension)")
+    Term.(const run $ seed)
+
+let main =
+  Cmd.group
+    (Cmd.info "ctsim" ~version:"1.0.0"
+       ~doc:
+         "Deterministic simulator for the consistent time service of Zhao, \
+          Moser and Melliar-Smith (DSN 2003)")
+    [
+      fig4_cmd;
+      fig5_cmd;
+      fig6_cmd;
+      msgcounts_cmd;
+      drift_cmd;
+      rollback_cmd;
+      token_cmd;
+      recovery_cmd;
+      causal_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/causal_groups.ml: Array Clock Dsim Format Gcs List Netsim Repl Rpc Scenario

@@ -1,0 +1,1 @@
+examples/failover.ml: Array Clock Dsim Format Gcs List Netsim Repl Rpc Scenario

@@ -1,0 +1,1 @@
+examples/partition.ml: Array Dsim Format Gcs List Netsim Repl Rpc Scenario Totem

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Clock Cts Dsim Format Gcs List Netsim Repl Rpc Scenario

@@ -1,0 +1,1 @@
+examples/recovery.ml: Array Clock Cts Dsim Format Gcs List Netsim Option Repl Rpc Scenario

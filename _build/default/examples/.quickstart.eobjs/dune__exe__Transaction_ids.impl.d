@@ -1,0 +1,1 @@
+examples/transaction_ids.ml: Array Clock Cts Dsim Format Gcs List Netsim Printf Repl Rpc Scenario

@@ -1,0 +1,92 @@
+(* Failover: the paper's central motivation.  A primary/backup time server
+   answers clock queries.  When the primary crashes, the prior-work approach
+   ([9], [3] in the paper) lets the new primary answer with its own physical
+   clock — which can sit *behind* the group's last reading, rolling the
+   clock back and breaking causality.  The consistent time service carries a
+   per-replica offset, so the group clock stays monotone across failover.
+
+   Run with: dune exec examples/failover.exe *)
+
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+module Cluster = Scenario.Cluster
+module Replica = Repl.Replica
+
+let run ~offset_tracking =
+  (* each backup's physical clock is 200 ms behind its predecessor, far
+     more than the failover takes, so the hazard is visible *)
+  let clock_config i =
+    { Clock.Hwclock.default_config with offset = Span.of_ms (-200 * i) }
+  in
+  let cluster = Cluster.create ~seed:11L ~clock_config ~nodes:4 () in
+  Cluster.start_all cluster;
+  Cluster.run_until cluster (fun () ->
+      Cluster.ring_stable cluster ~on_nodes:[ 0; 1; 2; 3 ]);
+  let config =
+    {
+      Replica.default_config with
+      style = Replica.Semi_active;
+      offset_tracking;
+      initial_members = List.map Netsim.Node_id.of_int [ 1; 2; 3 ];
+    }
+  in
+  let replicas =
+    List.map
+      (fun node ->
+        Replica.create cluster.Cluster.eng
+          ~endpoint:cluster.Cluster.nodes.(node).Cluster.endpoint
+          ~group:cluster.Cluster.server_group
+          ~clock:cluster.Cluster.nodes.(node).Cluster.clock ~config
+          ~app:(Scenario.Apps.time_server cluster ~node ())
+          ())
+      [ 1; 2; 3 ]
+  in
+  let client =
+    Rpc.Client.create cluster.Cluster.eng
+      ~endpoint:cluster.Cluster.nodes.(0).Cluster.endpoint
+      ~my_group:cluster.Cluster.client_group
+      ~server_group:cluster.Cluster.server_group ()
+  in
+  Cluster.run_until cluster (fun () ->
+      List.length
+        (Gcs.Endpoint.members_of cluster.Cluster.nodes.(0).Cluster.endpoint
+           cluster.Cluster.server_group)
+      = 3);
+  let finished = ref false in
+  Dsim.Fiber.spawn cluster.Cluster.eng (fun () ->
+      let prev = ref None in
+      let read label =
+        let r =
+          Rpc.Client.invoke ~timeout:(Span.of_ms 200) client
+            ~op:"gettimeofday" ~arg:""
+        in
+        let v = Time.of_ns (int_of_string r) in
+        let verdict =
+          match !prev with
+          | Some p when Time.(v < p) ->
+              Format.asprintf "  <-- ROLLED BACK by %a!" Span.pp
+                (Time.diff p v)
+          | _ -> ""
+        in
+        prev := Some v;
+        Format.printf "  %-22s %a%s@." label Time.pp v verdict
+      in
+      read "reading 1";
+      read "reading 2";
+      let primary = List.find Replica.is_primary replicas in
+      Format.printf "  -- crashing the primary (%a) --@." Netsim.Node_id.pp
+        (Replica.me primary);
+      Replica.crash primary;
+      read "reading 3 (new primary)";
+      read "reading 4";
+      finished := true);
+  Cluster.run_until cluster (fun () -> !finished)
+
+let () =
+  Format.printf
+    "=== prior-work primary/backup clock (paper refs [9],[3]) ===@.";
+  run ~offset_tracking:false;
+  Format.printf "@.=== consistent time service (this paper) ===@.";
+  run ~offset_tracking:true;
+  Format.printf
+    "@.The group clock is monotone across failover; the baseline is not.@."

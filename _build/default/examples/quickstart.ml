@@ -1,0 +1,94 @@
+(* Quickstart: a 3-way actively replicated time server whose replicas have
+   wildly different physical clocks, yet agree perfectly on every reading.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+module Cluster = Scenario.Cluster
+
+let () =
+  (* Four simulated hosts: n0 runs the client, n1-n3 the server replicas.
+     Give each replica's physical clock a different offset and drift so the
+     inconsistency problem is visible. *)
+  let clock_config i =
+    {
+      Clock.Hwclock.default_config with
+      offset = Span.of_ms (10 * i);
+      drift_ppm = 50. *. float_of_int i;
+    }
+  in
+  let cluster = Cluster.create ~seed:42L ~clock_config ~nodes:4 () in
+  Cluster.start_all cluster;
+  Cluster.run_until cluster (fun () ->
+      Cluster.ring_stable cluster ~on_nodes:[ 0; 1; 2; 3 ]);
+  Format.printf "ring formed: 4 nodes operational@.";
+
+  (* A replica per server node.  The app answers "gettimeofday" with the
+     *group clock*, transparently interposed by the consistent time
+     service. *)
+  let config =
+    {
+      Repl.Replica.default_config with
+      initial_members = List.map Netsim.Node_id.of_int [ 1; 2; 3 ];
+    }
+  in
+  let replicas =
+    List.map
+      (fun node ->
+        Repl.Replica.create cluster.Cluster.eng
+          ~endpoint:cluster.Cluster.nodes.(node).Cluster.endpoint
+          ~group:cluster.Cluster.server_group
+          ~clock:cluster.Cluster.nodes.(node).Cluster.clock ~config
+          ~app:(Scenario.Apps.time_server cluster ~node ())
+          ())
+      [ 1; 2; 3 ]
+  in
+  let client =
+    Rpc.Client.create cluster.Cluster.eng
+      ~endpoint:cluster.Cluster.nodes.(0).Cluster.endpoint
+      ~my_group:cluster.Cluster.client_group
+      ~server_group:cluster.Cluster.server_group ()
+  in
+  Cluster.run_until cluster (fun () ->
+      List.length
+        (Gcs.Endpoint.members_of cluster.Cluster.nodes.(0).Cluster.endpoint
+           cluster.Cluster.server_group)
+      = 3);
+  Format.printf "server group ready: 3 replicas@.";
+
+  let finished = ref false in
+  Dsim.Fiber.spawn cluster.Cluster.eng (fun () ->
+      Format.printf "@.%-6s %-14s %-12s@." "call" "group clock" "latency";
+      for i = 1 to 8 do
+        let result, latency =
+          Rpc.Client.invoke_timed client ~op:"gettimeofday" ~arg:""
+        in
+        let t = Time.of_ns (int_of_string result) in
+        Format.printf "#%-5d %a   %a@." i Time.pp t Span.pp latency
+      done;
+      finished := true);
+  Cluster.run_until cluster (fun () -> !finished);
+
+  (* Show what each replica's raw physical clock says right now: they are
+     milliseconds apart, yet every reading above was identical at all
+     three. *)
+  Format.printf "@.physical clocks at the end of the run:@.";
+  List.iteri
+    (fun i _ ->
+      let node = i + 1 in
+      Format.printf "  replica %d (n%d): %a@." (i + 1) node Time.pp
+        (Clock.Hwclock.read cluster.Cluster.nodes.(node).Cluster.clock))
+    replicas;
+  List.iter
+    (fun r ->
+      let s = Cts.Service.stats (Repl.Replica.service r) in
+      Format.printf
+        "  replica on %a: %d rounds, %d CCS sent, %d suppressed, offset %a@."
+        Netsim.Node_id.pp
+        (Repl.Replica.me r)
+        s.Cts.Service.rounds_completed s.Cts.Service.ccs_sent
+        s.Cts.Service.suppressed Span.pp
+        (Cts.Service.offset (Repl.Replica.service r)))
+    replicas;
+  Format.printf "@.all readings came from a single consistent group clock.@."

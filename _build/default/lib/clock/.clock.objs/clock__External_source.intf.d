@@ -1,0 +1,1 @@
+lib/clock/external_source.mli: Dsim

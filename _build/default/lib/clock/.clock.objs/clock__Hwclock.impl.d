@@ -1,0 +1,1 @@
+lib/clock/hwclock.ml: Dsim

@@ -1,0 +1,20 @@
+type t = {
+  eng : Dsim.Engine.t;
+  rng : Dsim.Rng.t;
+  max_skew : Dsim.Time.Span.t;
+}
+
+let create eng ~max_skew =
+  if Dsim.Time.Span.is_negative max_skew then
+    invalid_arg "External_source.create: negative max_skew";
+  { eng; rng = Dsim.Rng.split (Dsim.Engine.rng eng); max_skew }
+
+let query t =
+  let now = Dsim.Engine.now t.eng in
+  let bound = Dsim.Time.Span.to_ns t.max_skew in
+  if bound = 0 then now
+  else
+    let skew = Dsim.Rng.int_range t.rng (-bound) bound in
+    Dsim.Time.add now (Dsim.Time.Span.of_ns skew)
+
+let max_skew t = t.max_skew

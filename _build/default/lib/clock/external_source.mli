@@ -1,0 +1,17 @@
+(** External reference time source (NTP / GPS).
+
+    The paper's §3.3 "more aggressive" drift-compensation strategy consults a
+    source that "might have a transient skew from real time but has no
+    drift".  We model exactly that: each query returns real simulated time
+    plus a bounded, randomly varying skew. *)
+
+type t
+
+val create :
+  Dsim.Engine.t -> max_skew:Dsim.Time.Span.t -> t
+(** Queries return real time perturbed by a skew drawn uniformly from
+    [\[-max_skew, +max_skew\]], re-drawn on every query (transient skew). *)
+
+val query : t -> Dsim.Time.t
+
+val max_skew : t -> Dsim.Time.Span.t

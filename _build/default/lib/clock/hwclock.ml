@@ -1,0 +1,72 @@
+type config = {
+  offset : Dsim.Time.Span.t;
+  drift_ppm : float;
+  granularity : Dsim.Time.Span.t;
+  jitter : Dsim.Time.Span.t;
+}
+
+type t = {
+  eng : Dsim.Engine.t;
+  cfg : config;
+  rng : Dsim.Rng.t;
+  born : Dsim.Time.t; (* drift reference point *)
+  mutable extra : Dsim.Time.Span.t; (* accumulated step_offset shifts *)
+  mutable failed : bool;
+  mutable last_read : Dsim.Time.t; (* enforces monotonicity under jitter *)
+}
+
+exception Failed
+
+let default_config =
+  {
+    offset = Dsim.Time.Span.zero;
+    drift_ppm = 0.;
+    granularity = Dsim.Time.Span.of_us 1;
+    jitter = Dsim.Time.Span.zero;
+  }
+
+let create eng cfg =
+  if Dsim.Time.Span.(cfg.granularity < of_ns 1) then
+    invalid_arg "Hwclock.create: granularity < 1 ns";
+  {
+    eng;
+    cfg;
+    rng = Dsim.Rng.split (Dsim.Engine.rng eng);
+    born = Dsim.Engine.now eng;
+    extra = Dsim.Time.Span.zero;
+    failed = false;
+    last_read = Dsim.Time.of_ns min_int;
+  }
+
+let read t =
+  if t.failed then raise Failed;
+  let now = Dsim.Engine.now t.eng in
+  let elapsed = Dsim.Time.diff now t.born in
+  let drift = Dsim.Time.Span.scale (t.cfg.drift_ppm /. 1e6) elapsed in
+  let jitter =
+    if Dsim.Time.Span.(t.cfg.jitter <= zero) then Dsim.Time.Span.zero
+    else
+      Dsim.Time.Span.of_ns
+        (Dsim.Rng.int_range t.rng 0 (Dsim.Time.Span.to_ns t.cfg.jitter))
+  in
+  let skew =
+    Dsim.Time.Span.(add (add t.cfg.offset drift) (add t.extra jitter))
+  in
+  let raw = Dsim.Time.add now skew in
+  let v = Dsim.Time.truncate_to t.cfg.granularity raw in
+  (* A clock whose reads could go backwards between two calls at the same
+     replica would break the paper's fail-stop clock assumption; clamp. *)
+  let v = Dsim.Time.max v t.last_read in
+  t.last_read <- v;
+  v
+
+let config t = t.cfg
+let fail t = t.failed <- true
+let failed t = t.failed
+
+let step_offset t d =
+  t.extra <- Dsim.Time.Span.add t.extra d;
+  (* A backwards step is visible on the next read: drop the monotonicity
+     floor so the hazard actually manifests (that is the point of the
+     model). *)
+  if Dsim.Time.Span.is_negative d then t.last_read <- Dsim.Time.of_ns min_int

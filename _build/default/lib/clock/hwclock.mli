@@ -1,0 +1,44 @@
+(** Physical hardware clock model.
+
+    Models a PC crystal oscillator as the paper's testbed sees it: a fixed
+    initial offset from real (simulated) time, a constant drift rate in
+    parts-per-million, a read granularity (e.g. 1 µs for [gettimeofday()]),
+    and optional read jitter.  Clocks are fail-stop (paper §2): after
+    {!fail}, every read raises {!Failed}. *)
+
+type t
+
+exception Failed
+(** Raised by {!read} after the clock has fail-stopped. *)
+
+type config = {
+  offset : Dsim.Time.Span.t;  (** initial offset from real time *)
+  drift_ppm : float;  (** rate error, parts per million *)
+  granularity : Dsim.Time.Span.t;  (** reads truncate to this; >= 1 ns *)
+  jitter : Dsim.Time.Span.t;
+      (** max extra latency-induced error added to a read, uniform in
+          [\[0, jitter\]]; zero disables jitter *)
+}
+
+val default_config : config
+(** Zero offset, zero drift, 1 µs granularity, no jitter. *)
+
+val create : Dsim.Engine.t -> config -> t
+(** The drift reference point is the engine's current instant. *)
+
+val read : t -> Dsim.Time.t
+(** The clock's current value: real time, skewed by offset and drift,
+    perturbed by jitter and truncated to the granularity.  Monotone
+    non-decreasing for non-negative drift and zero jitter. *)
+
+val config : t -> config
+
+val fail : t -> unit
+(** Fail-stop the clock. *)
+
+val failed : t -> bool
+
+val step_offset : t -> Dsim.Time.Span.t -> unit
+(** Shift the clock by a one-off step (models an operator or NTP daemon
+    stepping the clock underneath the application, a hazard the paper's
+    group clock must tolerate). *)

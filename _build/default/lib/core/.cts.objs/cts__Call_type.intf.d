@@ -1,0 +1,1 @@
+lib/core/call_type.mli: Dsim Format

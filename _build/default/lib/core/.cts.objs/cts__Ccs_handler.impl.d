@@ -1,0 +1,1 @@
+lib/core/ccs_handler.ml: Ccs_msg Dsim Option Queue Thread_id

@@ -1,0 +1,1 @@
+lib/core/ccs_handler.mli: Call_type Ccs_msg Dsim Thread_id

@@ -1,0 +1,1 @@
+lib/core/ccs_msg.ml: Call_type Dsim Format Gcs Thread_id

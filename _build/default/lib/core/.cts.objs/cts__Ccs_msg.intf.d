@@ -1,0 +1,1 @@
+lib/core/ccs_msg.mli: Call_type Dsim Format Gcs Thread_id

@@ -1,0 +1,1 @@
+lib/core/interpose.ml: Call_type Dsim Fun Hashtbl Service Thread_id

@@ -1,0 +1,1 @@
+lib/core/interpose.mli: Dsim Service Thread_id

@@ -1,0 +1,1 @@
+lib/core/service.ml: Call_type Ccs_handler Ccs_msg Clock Drift Dsim Gcs Hashtbl List Logs Netsim Queue Thread_id

@@ -1,0 +1,1 @@
+lib/core/service.mli: Call_type Clock Drift Dsim Gcs Netsim Thread_id

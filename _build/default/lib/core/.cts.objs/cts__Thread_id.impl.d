@@ -1,0 +1,1 @@
+lib/core/thread_id.ml: Format Int

@@ -1,0 +1,15 @@
+type t = Gettimeofday | Time | Ftime
+
+let type_id = function Gettimeofday -> 1 | Time -> 2 | Ftime -> 3
+
+let granularity = function
+  | Gettimeofday -> Dsim.Time.Span.of_us 1
+  | Time -> Dsim.Time.Span.of_sec 1
+  | Ftime -> Dsim.Time.Span.of_ms 1
+
+let equal a b = type_id a = type_id b
+
+let pp ppf = function
+  | Gettimeofday -> Format.pp_print_string ppf "gettimeofday"
+  | Time -> Format.pp_print_string ppf "time"
+  | Ftime -> Format.pp_print_string ppf "ftime"

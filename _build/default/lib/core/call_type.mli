@@ -1,0 +1,19 @@
+(** Clock-related system calls.
+
+    The paper interposes on the operating system's clock entry points and
+    gives each "a unique type identifier so that the consistent clock
+    synchronization algorithm can recognize and distinguish them" (§4.1);
+    every CCS message carries the identifier.  Each call has the granularity
+    of its POSIX counterpart. *)
+
+type t =
+  | Gettimeofday  (** microsecond granularity *)
+  | Time  (** second granularity *)
+  | Ftime  (** millisecond granularity *)
+
+val type_id : t -> int
+(** The unique identifier carried in CCS messages. *)
+
+val granularity : t -> Dsim.Time.Span.t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

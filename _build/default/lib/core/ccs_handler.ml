@@ -1,0 +1,82 @@
+type t = {
+  eng : Dsim.Engine.t;
+  thread : Thread_id.t;
+  send : Ccs_msg.payload -> unit;
+  on_suppress : unit -> unit;
+  input : Ccs_msg.payload Queue.t; (* my_input_buffer *)
+  arrived : Dsim.Sync.Condition.t;
+  mutable round : int; (* my_round_number *)
+  mutable highest_enqueued : int; (* duplicate detection (msg_seq_num) *)
+  mutable blocked : bool;
+  mutable pending : Ccs_msg.payload option;
+}
+
+let create eng ~thread ~send ?(on_suppress = fun () -> ()) () =
+  {
+    eng;
+    thread;
+    send;
+    on_suppress;
+    input = Queue.create ();
+    arrived = Dsim.Sync.Condition.create ();
+    round = 0;
+    highest_enqueued = 0;
+    blocked = false;
+    pending = None;
+  }
+
+let thread t = t.thread
+let round t = t.round
+let buffered t = Queue.length t.input
+
+let peek_round t =
+  Option.map (fun (p : Ccs_msg.payload) -> p.round) (Queue.peek_opt t.input)
+
+let recv t (p : Ccs_msg.payload) =
+  if not (Thread_id.equal p.thread t.thread) then
+    invalid_arg "Ccs_handler.recv: wrong thread";
+  (* Duplicate detection: the first message delivered for a round wins;
+     later messages for the same (or an older) round are discarded. *)
+  if p.round > t.highest_enqueued then begin
+    t.highest_enqueued <- p.round;
+    let was_empty = Queue.is_empty t.input in
+    Queue.push p t.input;
+    if was_empty then Dsim.Sync.Condition.signal t.eng t.arrived
+  end
+
+let pending t = if t.blocked then t.pending else None
+
+let get_grp_clock_time t ~proposal ~call =
+  t.round <- t.round + 1;
+  let payload = { Ccs_msg.thread = t.thread; round = t.round; proposal; call } in
+  t.pending <- Some payload;
+  if Queue.is_empty t.input then t.send payload else t.on_suppress ();
+  t.blocked <- true;
+  while Queue.is_empty t.input do
+    Dsim.Sync.Condition.wait t.arrived
+  done;
+  t.blocked <- false;
+  t.pending <- None;
+  let winner = Queue.pop t.input in
+  (* Rounds of a thread are strictly sequential and totally ordered, so the
+     first buffered message always belongs to the current round. *)
+  assert (winner.round = t.round);
+  winner
+
+let round_settled t round = t.highest_enqueued >= round
+
+let advance_to t ~round =
+  if t.blocked then
+    invalid_arg "Ccs_handler.advance_to: thread is blocked mid-round";
+  if round < t.round then
+    invalid_arg "Ccs_handler.advance_to: target behind current round";
+  t.round <- round;
+  if t.highest_enqueued < round then t.highest_enqueued <- round;
+  let rec drop () =
+    match Queue.peek_opt t.input with
+    | Some (p : Ccs_msg.payload) when p.round <= round ->
+        ignore (Queue.pop t.input : Ccs_msg.payload);
+        drop ()
+    | _ -> ()
+  in
+  drop ()

@@ -1,0 +1,63 @@
+(** Per-thread consistent clock synchronization handler (§3.1-3.2).
+
+    One handler exists per logical thread; it owns the thread's input buffer
+    of received CCS messages, the thread's round counter, duplicate
+    detection, and the blocking [get_grp_clock_time] operation of Figure 2.
+
+    Within a thread all clock-related operations are sequential, so rounds
+    are numbered 1, 2, 3, ... per thread, and the first CCS message
+    delivered for a round determines the group clock for that round. *)
+
+type t
+
+val create :
+  Dsim.Engine.t ->
+  thread:Thread_id.t ->
+  send:(Ccs_msg.payload -> unit) ->
+  ?on_suppress:(unit -> unit) ->
+  unit ->
+  t
+(** [send] multicasts a CCS message to the group (invoked only when the
+    handler must compete for a round).  [on_suppress] fires when a round
+    opens with the winner's message already buffered, so no send is needed
+    (the paper's §4.3 duplicate suppression). *)
+
+val thread : t -> Thread_id.t
+
+val round : t -> int
+(** Rounds completed or in progress (0 initially). *)
+
+val get_grp_clock_time :
+  t -> proposal:Dsim.Time.t -> call:Call_type.t -> Ccs_msg.payload
+(** Figure 2, lines 9-17: open the next round; if no CCS message for it has
+    been received yet, multicast our proposal; block the calling fiber until
+    the round's first message is delivered; return it (the winner's value is
+    the group clock for the round).  Must run inside a fiber. *)
+
+val recv : t -> Ccs_msg.payload -> unit
+(** Figure 3, lines 5-11: duplicate detection on the round number; fresh
+    messages are appended to the input buffer and a blocked thread, if any,
+    is awakened. *)
+
+val buffered : t -> int
+(** Messages queued but not yet consumed (a slow replica lags behind). *)
+
+val pending : t -> Ccs_msg.payload option
+(** While the thread is blocked inside {!get_grp_clock_time}, the payload
+    it proposed (or would have proposed) for the in-progress round.  Used
+    by a promoted primary to re-send the round's CCS message. *)
+
+val peek_round : t -> int option
+(** Round number of the first buffered message, if any. *)
+
+val round_settled : t -> int -> bool
+(** [round_settled t r]: a CCS message for round [r] has already been
+    delivered (enqueued or consumed), so sending our own proposal for that
+    round would only produce a duplicate. *)
+
+val advance_to : t -> round:int -> unit
+(** Fast-forward to [round]: drop buffered messages for rounds <= [round]
+    and start counting from there.  Used when a checkpoint that already
+    covers those rounds is applied (passive-replication log truncation and
+    new-replica state transfer).  Raises [Invalid_argument] if the thread
+    is blocked mid-round or the target is behind the current round. *)

@@ -1,0 +1,22 @@
+type payload = {
+  thread : Thread_id.t;
+  round : int;
+  proposal : Dsim.Time.t;
+  call : Call_type.t;
+}
+
+type Gcs.Msg.body += Ccs of payload
+
+let msg_type = "CCS"
+let conn_id = 0
+
+let make ~group payload =
+  Gcs.Msg.make ~msg_type ~src_grp:group ~dst_grp:group ~conn_id
+    ~msg_seq:payload.round (Ccs payload)
+
+let of_msg (msg : Gcs.Msg.t) =
+  match msg.body with Ccs p -> Some p | _ -> None
+
+let pp ppf p =
+  Format.fprintf ppf "CCS(%a r%d %a %a)" Thread_id.pp p.thread p.round
+    Dsim.Time.pp p.proposal Call_type.pp p.call

@@ -1,0 +1,30 @@
+(** The Consistent Clock Synchronization (CCS) control message (§3.1).
+
+    The payload carries the sending thread identifier and the local clock
+    value the sender proposes for the group clock — the sum of its physical
+    hardware clock value and its clock offset — plus the call-type
+    identifier of §4.1.  The CCS round number travels in the message
+    header's [msg_seq_num] field, as in the paper, and is duplicated here
+    for convenience. *)
+
+type payload = {
+  thread : Thread_id.t;  (** sending thread identifier *)
+  round : int;  (** CCS round number for that thread *)
+  proposal : Dsim.Time.t;  (** local clock value proposed for the group *)
+  call : Call_type.t;
+}
+
+type Gcs.Msg.body += Ccs of payload
+
+val msg_type : string
+(** The header [msg_type] of CCS messages, ["CCS"]. *)
+
+val conn_id : int
+(** CCS messages of a group travel on a reserved connection. *)
+
+val make : group:Gcs.Group_id.t -> payload -> Gcs.Msg.t
+(** Wrap a payload into a group-addressed message (source and destination
+    group identifiers are the same for a CCS message, §3.1). *)
+
+val of_msg : Gcs.Msg.t -> payload option
+val pp : Format.formatter -> payload -> unit

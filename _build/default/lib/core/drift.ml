@@ -1,0 +1,22 @@
+type t =
+  | No_compensation
+  | Mean_delay of Dsim.Time.Span.t
+  | Anchored of { source : Clock.External_source.t; gain : float }
+
+let adjust_proposal t proposal =
+  match t with
+  | No_compensation | Mean_delay _ -> proposal
+  | Anchored { source; gain } ->
+      let reference = Clock.External_source.query source in
+      let error = Dsim.Time.diff reference proposal in
+      Dsim.Time.add proposal (Dsim.Time.Span.scale gain error)
+
+let adjust_offset t offset =
+  match t with
+  | No_compensation | Anchored _ -> offset
+  | Mean_delay d -> Dsim.Time.Span.add offset d
+
+let pp ppf = function
+  | No_compensation -> Format.pp_print_string ppf "none"
+  | Mean_delay d -> Format.fprintf ppf "mean-delay(%a)" Dsim.Time.Span.pp d
+  | Anchored { gain; _ } -> Format.fprintf ppf "anchored(gain=%g)" gain

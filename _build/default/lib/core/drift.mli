@@ -1,0 +1,26 @@
+(** Drift-compensation strategies for the group clock (§3.3).
+
+    Without compensation the group clock drifts from real time: the round
+    winner tends to be the replica that proposed earliest, so the group
+    clock advances slower than real time (paper Figure 6(c)).  The paper
+    sketches two remedies, both implemented here. *)
+
+type t =
+  | No_compensation
+  | Mean_delay of Dsim.Time.Span.t
+      (** "increase the value of my_clock_offset by a mean delay each time
+          that value is calculated to compensate for that delay"; the span
+          should approximate the mean communication + processing delay *)
+  | Anchored of { source : Clock.External_source.t; gain : float }
+      (** "a small proportion of the difference between the 'real time' and
+          the proposed consistent clock is added to the proposed consistent
+          clock"; [gain] is that proportion, in (0, 1] *)
+
+val adjust_proposal : t -> Dsim.Time.t -> Dsim.Time.t
+(** Applied to the local clock value before it is proposed for the group
+    clock (start of a round). *)
+
+val adjust_offset : t -> Dsim.Time.Span.t -> Dsim.Time.Span.t
+(** Applied to the freshly computed clock offset (end of a round). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+exception No_context
+
+(* fiber id -> (service, thread); bindings are installed and removed by
+   [with_context] in a strict stack discipline per fiber *)
+let contexts : (int, Service.t * Thread_id.t) Hashtbl.t = Hashtbl.create 16
+
+let fiber_id () =
+  match Dsim.Fiber.current_id () with
+  | Some id -> id
+  | None -> raise No_context
+
+let context () =
+  match Dsim.Fiber.current_id () with
+  | None -> None
+  | Some id -> Hashtbl.find_opt contexts id
+
+let with_context service ~thread f =
+  let id = fiber_id () in
+  let prev = Hashtbl.find_opt contexts id in
+  Hashtbl.replace contexts id (service, thread);
+  Fun.protect
+    ~finally:(fun () ->
+      match prev with
+      | Some binding -> Hashtbl.replace contexts id binding
+      | None -> Hashtbl.remove contexts id)
+    f
+
+let call kind =
+  let id = fiber_id () in
+  match Hashtbl.find_opt contexts id with
+  | None -> raise No_context
+  | Some (service, thread) -> Service.clock_read service ~thread ~call:kind
+
+let gettimeofday () = call Call_type.Gettimeofday
+let time () = call Call_type.Time
+let ftime () = call Call_type.Ftime

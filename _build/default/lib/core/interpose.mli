@@ -1,0 +1,42 @@
+(** Library interpositioning of the clock-related system calls (§4.1).
+
+    The paper captures `gettimeofday()`, `time()` and `ftime()` with
+    library interpositioning so the application needs no code changes.  The
+    simulation equivalent: the replication infrastructure installs a
+    context (which consistent time service, which logical thread) for the
+    fiber that runs application code, and application code calls the usual
+    entry points with no arguments:
+
+    {[
+      let handle ~op ... =
+        let now = Cts.Interpose.gettimeofday () in
+        ...
+    ]}
+
+    Contexts are fiber-local (keyed by {!Dsim.Fiber.current_id}), so
+    replicas of different groups hosted on the same simulated node cannot
+    leak clocks into each other. *)
+
+exception No_context
+(** Raised by the clock calls when no context is installed for the calling
+    fiber — the simulation's equivalent of running without the
+    interposition library preloaded. *)
+
+val with_context :
+  Service.t -> thread:Thread_id.t -> (unit -> 'a) -> 'a
+(** [with_context service ~thread f] runs [f] with the clock calls bound to
+    [service]/[thread].  Nests; the previous binding is restored on exit.
+    Must be called from inside a fiber. *)
+
+val gettimeofday : unit -> Dsim.Time.t
+(** Microsecond granularity; blocks for the CCS round like the underlying
+    {!Service.gettimeofday}. *)
+
+val time : unit -> Dsim.Time.t
+(** Second granularity. *)
+
+val ftime : unit -> Dsim.Time.t
+(** Millisecond granularity. *)
+
+val context : unit -> (Service.t * Thread_id.t) option
+(** The binding of the calling fiber, if any. *)

@@ -1,0 +1,12 @@
+type t = int
+
+let recovery = 0
+
+let of_int i =
+  if i < 0 then invalid_arg "Thread_id.of_int: negative";
+  i
+
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf t = if t = 0 then Format.fprintf ppf "t<rec>" else Format.fprintf ppf "t%d" t

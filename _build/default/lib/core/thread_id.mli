@@ -1,0 +1,21 @@
+(** Logical thread identifiers.
+
+    The paper requires that "all threads that perform clock-related
+    operations are created ... in the same order at different replicas"
+    (§2); a logical thread id names the same thread across all replicas of a
+    group.  Id 0 is reserved for the special consistent-clock-
+    synchronization round run during state transfer (§3.2). *)
+
+type t
+
+val recovery : t
+(** The reserved id for the special round during state transfer. *)
+
+val of_int : int -> t
+(** Application threads use ids >= 1.  Raises [Invalid_argument] for
+    negative ids. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/dsim/engine.ml: Event_queue Format Rng Time

@@ -1,0 +1,1 @@
+lib/dsim/fiber.ml: Effect Engine Fun Time

@@ -1,0 +1,1 @@
+lib/dsim/fiber.mli: Engine Time

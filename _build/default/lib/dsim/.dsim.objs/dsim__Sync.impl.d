@@ -1,0 +1,1 @@
+lib/dsim/sync.ml: Engine Fiber Queue Time

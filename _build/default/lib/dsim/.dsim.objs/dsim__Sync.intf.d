@@ -1,0 +1,1 @@
+lib/dsim/sync.mli: Engine

@@ -1,0 +1,1 @@
+lib/dsim/time.ml: Float Format Int Stdlib

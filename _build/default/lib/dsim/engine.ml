@@ -1,0 +1,59 @@
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable now : Time.t;
+  rng : Rng.t;
+  mutable stopped : bool;
+}
+
+let create ?(seed = 1L) () =
+  {
+    queue = Event_queue.create ();
+    now = Time.epoch;
+    rng = Rng.create seed;
+    stopped = false;
+  }
+
+let now t = t.now
+let rng t = t.rng
+
+let schedule_at t at f =
+  if Time.(at < t.now) then
+    invalid_arg
+      (Format.asprintf "Engine.schedule_at: %a is before now (%a)" Time.pp at
+         Time.pp t.now);
+  Event_queue.push t.queue at f
+
+let schedule t d f =
+  let d = if Time.Span.is_negative d then Time.Span.zero else d in
+  Event_queue.push t.queue (Time.add t.now d) f
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (at, f) ->
+      t.now <- at;
+      f ();
+      true
+
+let run ?until ?max_events t =
+  t.stopped <- false;
+  let budget = ref (match max_events with Some n -> n | None -> max_int) in
+  let horizon_ok () =
+    match until with
+    | None -> true
+    | Some h -> (
+        match Event_queue.peek_time t.queue with
+        | None -> false
+        | Some at -> Time.(at <= h))
+  in
+  while
+    (not t.stopped) && !budget > 0 && (not (Event_queue.is_empty t.queue))
+    && horizon_ok ()
+  do
+    ignore (step t : bool);
+    decr budget
+  done;
+  match until with Some h when Time.(h > t.now) -> t.now <- h | _ -> ()
+
+let pending t = Event_queue.length t.queue
+let stop t = t.stopped <- true

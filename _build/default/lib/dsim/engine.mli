@@ -1,0 +1,40 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the virtual clock and the event queue.  Every other
+    component of the simulator (network, protocol nodes, replicas,
+    application fibers) is driven by callbacks scheduled here.  A run is a
+    pure function of the root seed. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** [create ~seed ()] makes an engine whose virtual clock starts at
+    {!Time.epoch}.  Default seed is [1L]. *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The engine's root random stream.  Components should {!Rng.split} their
+    own stream from it at construction time. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> unit
+(** [schedule_at t at f] runs [f] when the virtual clock reaches [at].
+    Raises [Invalid_argument] if [at] is in the past. *)
+
+val schedule : t -> Time.span -> (unit -> unit) -> unit
+(** [schedule t d f] runs [f] after delay [d] (clipped to be >= 0). *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Process events in timestamp order until the queue drains, the optional
+    [until] horizon is passed, or [max_events] callbacks have run.
+    Exceptions raised by callbacks propagate and abort the run. *)
+
+val step : t -> bool
+(** Process a single event; [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val stop : t -> unit
+(** Makes the current {!run} return after the in-progress callback. *)

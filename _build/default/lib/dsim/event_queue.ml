@@ -1,0 +1,68 @@
+type 'a entry = { at : Time.t; seq : int; ev : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Array.make 64 None; size = 0; next_seq = 0 }
+
+let entry_lt a b =
+  match Time.compare a.at b.at with 0 -> a.seq < b.seq | c -> c < 0
+
+let get h i = match h.heap.(i) with Some e -> e | None -> assert false
+
+let swap h i j =
+  let tmp = h.heap.(i) in
+  h.heap.(i) <- h.heap.(j);
+  h.heap.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt (get h i) (get h parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && entry_lt (get h l) (get h !smallest) then smallest := l;
+  if r < h.size && entry_lt (get h r) (get h !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h at ev =
+  if h.size = Array.length h.heap then begin
+    let bigger = Array.make (2 * h.size) None in
+    Array.blit h.heap 0 bigger 0 h.size;
+    h.heap <- bigger
+  end;
+  h.heap.(h.size) <- Some { at; seq = h.next_seq; ev };
+  h.next_seq <- h.next_seq + 1;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = get h 0 in
+    h.size <- h.size - 1;
+    h.heap.(0) <- h.heap.(h.size);
+    h.heap.(h.size) <- None;
+    if h.size > 0 then sift_down h 0;
+    Some (top.at, top.ev)
+  end
+
+let peek_time h = if h.size = 0 then None else Some (get h 0).at
+let length h = h.size
+let is_empty h = h.size = 0
+
+let clear h =
+  Array.fill h.heap 0 h.size None;
+  h.size <- 0

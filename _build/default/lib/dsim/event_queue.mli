@@ -1,0 +1,22 @@
+(** Priority queue of timestamped events.
+
+    A binary min-heap ordered by [(time, insertion sequence)]: events at the
+    same instant pop in insertion order, which makes the simulation fully
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> Time.t -> 'a -> unit
+(** [push q at ev] enqueues [ev] to fire at instant [at]. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Remove and return the earliest event, or [None] if empty. *)
+
+val peek_time : 'a t -> Time.t option
+(** Timestamp of the earliest event without removing it. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit

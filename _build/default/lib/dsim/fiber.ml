@@ -1,0 +1,53 @@
+exception Not_in_fiber
+
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+(* Fiber identity: set while a fiber's code runs (including after every
+   resumption), cleared around it.  Fibers are cooperative, so a simple
+   save/restore discipline is enough. *)
+let next_id = ref 0
+let current : int option ref = ref None
+let current_id () = !current
+
+let with_id id f =
+  let prev = !current in
+  current := Some id;
+  Fun.protect ~finally:(fun () -> current := prev) f
+
+let spawn eng f =
+  let open Effect.Deep in
+  incr next_id;
+  let id = !next_id in
+  let handler =
+    {
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (b, _) continuation) ->
+                  let resumed = ref false in
+                  let resume () =
+                    if !resumed then
+                      invalid_arg "Fiber: resume called twice"
+                    else begin
+                      resumed := true;
+                      with_id id (fun () -> continue k ())
+                    end
+                  in
+                  register resume)
+          | _ -> None);
+    }
+  in
+  Engine.schedule eng Time.Span.zero (fun () ->
+      with_id id (fun () -> try_with f () handler))
+
+let suspend register =
+  try Effect.perform (Suspend register)
+  with Effect.Unhandled _ -> raise Not_in_fiber
+
+let sleep eng d =
+  let register resume = Engine.schedule eng d resume in
+  suspend register
+
+let yield eng = sleep eng Time.Span.zero

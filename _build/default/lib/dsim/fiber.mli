@@ -1,0 +1,35 @@
+(** Cooperative fibers on top of OCaml effect handlers.
+
+    Fibers give simulated code the blocking style of the paper's POSIX
+    threads — a replica thread really does block inside
+    [get_grp_clock_time()] until the first CCS message arrives — while the
+    whole system remains a deterministic single-threaded simulation.
+
+    All blocking operations ({!sleep}, {!suspend}, and the primitives in
+    {!Sync}) must be called from inside a fiber; calling them elsewhere
+    raises {!Not_in_fiber}. *)
+
+exception Not_in_fiber
+
+val spawn : Engine.t -> (unit -> unit) -> unit
+(** [spawn eng f] schedules a new fiber running [f] at the current virtual
+    instant.  An exception escaping [f] aborts the simulation run. *)
+
+val sleep : Engine.t -> Time.span -> unit
+(** Block the calling fiber for the given virtual duration. *)
+
+val suspend : ((unit -> unit) -> unit) -> unit
+(** [suspend register] parks the calling fiber and calls [register resume].
+    The fiber continues when [resume ()] is invoked (from any callback).
+    [resume] must be called at most once; a second call raises
+    [Invalid_argument]. *)
+
+val yield : Engine.t -> unit
+(** Re-schedule the calling fiber at the same instant, letting other
+    pending events at this instant run first. *)
+
+val current_id : unit -> int option
+(** The identifier of the currently running fiber, or [None] when called
+    from a plain engine callback.  Identifiers are unique per engine-less
+    global counter and stable across suspensions, which makes them usable
+    as keys for fiber-local state (see [Cts.Interpose]). *)

@@ -1,0 +1,55 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = seed }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = int64 t in
+  { state = mix64 seed }
+
+let copy t = { state = t.state }
+let bits t = Int64.to_int (Int64.shift_right_logical (int64 t) 2)
+
+let int_range t lo hi =
+  if lo > hi then invalid_arg "Rng.int_range: lo > hi";
+  let n = hi - lo + 1 in
+  (* Rejection sampling keeps the draw exactly uniform. *)
+  let limit = 0x3FFF_FFFF_FFFF_FFFF / n * n in
+  let rec draw () =
+    let b = bits t in
+    if b >= limit then draw () else lo + (b mod n)
+  in
+  draw ()
+
+let float t x = float_of_int (bits t) /. 4.611686018427387904e18 *. x
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | l -> List.nth l (int_range t 0 (List.length l - 1))
+
+let exponential t ~mean =
+  let u = 1.0 -. float t 1.0 in
+  -.mean *. log u
+
+let gaussian t ~mu ~sigma =
+  let u1 = 1.0 -. float t 1.0 and u2 = float t 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int_range t 0 i in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,86 @@
+let wake eng resume = Engine.schedule eng Time.Span.zero resume
+
+module Ivar = struct
+  type 'a state = Empty of (unit -> unit) Queue.t | Full of 'a
+  type 'a t = { mutable state : 'a state }
+
+  let create () = { state = Empty (Queue.create ()) }
+
+  let fill eng t v =
+    match t.state with
+    | Full _ -> invalid_arg "Ivar.fill: already filled"
+    | Empty waiters ->
+        t.state <- Full v;
+        Queue.iter (wake eng) waiters
+
+  let read t =
+    match t.state with
+    | Full v -> v
+    | Empty waiters ->
+        Fiber.suspend (fun resume -> Queue.push resume waiters);
+        (match t.state with Full v -> v | Empty _ -> assert false)
+
+  let peek t = match t.state with Full v -> Some v | Empty _ -> None
+  let is_filled t = match t.state with Full _ -> true | Empty _ -> false
+end
+
+module Mailbox = struct
+  type 'a t = { items : 'a Queue.t; waiters : (unit -> unit) Queue.t }
+
+  let create () = { items = Queue.create (); waiters = Queue.create () }
+
+  let send eng t v =
+    Queue.push v t.items;
+    match Queue.take_opt t.waiters with
+    | Some resume -> wake eng resume
+    | None -> ()
+
+  let rec recv t =
+    match Queue.take_opt t.items with
+    | Some v -> v
+    | None ->
+        Fiber.suspend (fun resume -> Queue.push resume t.waiters);
+        (* Another fiber woken at the same instant may have raced us to the
+           message, so re-check rather than assume availability. *)
+        recv t
+
+  let recv_opt t = Queue.take_opt t.items
+  let peek t = Queue.peek_opt t.items
+  let length t = Queue.length t.items
+  let is_empty t = Queue.is_empty t.items
+end
+
+module Condition = struct
+  type t = { waiters : (unit -> unit) Queue.t }
+
+  let create () = { waiters = Queue.create () }
+  let wait t = Fiber.suspend (fun resume -> Queue.push resume t.waiters)
+
+  let signal eng t =
+    match Queue.take_opt t.waiters with
+    | Some resume -> wake eng resume
+    | None -> ()
+
+  let broadcast eng t =
+    Queue.iter (wake eng) t.waiters;
+    Queue.clear t.waiters
+
+  let waiters t = Queue.length t.waiters
+end
+
+module Waitgroup = struct
+  type t = { mutable count : int; done_ : unit Ivar.t }
+
+  let create count =
+    if count < 0 then invalid_arg "Waitgroup.create: negative count";
+    { count; done_ = Ivar.create () }
+
+  let add t n = t.count <- t.count + n
+
+  let finish eng t =
+    if t.count <= 0 then invalid_arg "Waitgroup.finish: count already 0";
+    t.count <- t.count - 1;
+    if t.count = 0 then Ivar.fill eng t.done_ ()
+
+  let wait t = if t.count > 0 then Ivar.read t.done_
+end

@@ -1,0 +1,72 @@
+(** Blocking synchronization primitives for fibers.
+
+    Wake-ups are scheduled through the engine at the current instant rather
+    than run inline, so a [fill]/[send]/[signal] never re-enters the waiting
+    fiber from the middle of the caller's critical section. *)
+
+module Ivar : sig
+  (** A write-once cell. *)
+
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val fill : Engine.t -> 'a t -> 'a -> unit
+  (** Raises [Invalid_argument] if already filled. *)
+
+  val read : 'a t -> 'a
+  (** Blocks the calling fiber until the cell is filled. *)
+
+  val peek : 'a t -> 'a option
+  val is_filled : 'a t -> bool
+end
+
+module Mailbox : sig
+  (** An unbounded FIFO channel. *)
+
+  type 'a t
+
+  val create : unit -> 'a t
+  val send : Engine.t -> 'a t -> 'a -> unit
+
+  val recv : 'a t -> 'a
+  (** Blocks the calling fiber until a message is available. *)
+
+  val recv_opt : 'a t -> 'a option
+  (** Non-blocking receive. *)
+
+  val peek : 'a t -> 'a option
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+end
+
+module Condition : sig
+  (** A broadcast condition variable (no associated mutex: the simulation is
+      single-threaded, so there are no data races to guard against). *)
+
+  type t
+
+  val create : unit -> t
+
+  val wait : t -> unit
+  (** Block until the next {!signal} or {!broadcast}. *)
+
+  val signal : Engine.t -> t -> unit
+  (** Wake one waiter (the longest-waiting one), if any. *)
+
+  val broadcast : Engine.t -> t -> unit
+  (** Wake all current waiters. *)
+
+  val waiters : t -> int
+end
+
+module Waitgroup : sig
+  (** Counts outstanding tasks; {!wait} blocks until the count reaches 0. *)
+
+  type t
+
+  val create : int -> t
+  val add : t -> int -> unit
+  val finish : Engine.t -> t -> unit
+  val wait : t -> unit
+end

@@ -1,0 +1,88 @@
+(** Simulated time.
+
+    Absolute instants ({!t}) and durations ({!span}) are integer nanosecond
+    counts, kept abstract so that instants and durations cannot be mixed up
+    by accident.  All arithmetic is exact; there is no floating-point
+    rounding anywhere in the simulated clock plane. *)
+
+type t
+(** An absolute instant on the simulation time line. *)
+
+type span
+(** A (possibly negative) duration. *)
+
+(** {1 Instants} *)
+
+val epoch : t
+(** The origin of simulated time, [t = 0]. *)
+
+val of_ns : int -> t
+val to_ns : t -> int
+
+val of_us : int -> t
+val to_us : t -> int
+(** [to_us] truncates towards zero. *)
+
+val of_ms : int -> t
+val of_sec : int -> t
+
+val of_sec_f : float -> t
+(** [of_sec_f s] converts fractional seconds, rounding to the nearest ns. *)
+
+val to_sec_f : t -> float
+
+val add : t -> span -> t
+val sub : t -> span -> t
+
+val diff : t -> t -> span
+(** [diff a b] is the span [a - b]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints as seconds with microsecond precision, e.g. ["12.000351s"]. *)
+
+val truncate_to : span -> t -> t
+(** [truncate_to g t] rounds [t] down to a multiple of granularity [g];
+    models coarse clock sources such as [time()] (1 s granularity). *)
+
+(** {1 Spans} *)
+
+module Span : sig
+  type nonrec t = span
+
+  val zero : t
+  val of_ns : int -> t
+  val to_ns : t -> int
+  val of_us : int -> t
+  val to_us : t -> int
+  val of_ms : int -> t
+  val of_sec : int -> t
+  val of_sec_f : float -> t
+  val to_sec_f : t -> float
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val abs : t -> t
+  val scale : float -> t -> t
+  (** [scale f s] multiplies by a float factor, rounding to nearest ns. *)
+
+  val divide : t -> int -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val is_negative : t -> bool
+  val pp : Format.formatter -> t -> unit
+end

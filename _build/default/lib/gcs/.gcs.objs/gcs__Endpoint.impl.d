@@ -1,0 +1,1 @@
+lib/gcs/endpoint.ml: Dsim Format Group_id Hashtbl Lazy List Logs Msg Netsim Option Totem View

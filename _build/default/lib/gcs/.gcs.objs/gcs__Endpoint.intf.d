@@ -1,0 +1,1 @@
+lib/gcs/endpoint.mli: Dsim Group_id Msg Netsim Totem View

@@ -1,0 +1,1 @@
+lib/gcs/group_id.ml: Format Int Map

@@ -1,0 +1,1 @@
+lib/gcs/group_id.mli: Format Map

@@ -1,0 +1,1 @@
+lib/gcs/msg.ml: Format Group_id

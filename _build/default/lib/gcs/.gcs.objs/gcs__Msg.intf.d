@@ -1,0 +1,1 @@
+lib/gcs/msg.mli: Format Group_id

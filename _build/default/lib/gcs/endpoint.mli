@@ -1,0 +1,74 @@
+(** Group communication endpoint (one per node).
+
+    Multiplexes process groups over a single Totem ring: group join/leave
+    announcements travel as totally-ordered messages, so every node derives
+    the same group membership (in join order, giving each member a rank).
+    Delivers to local subscribers, in the agreed total order, the
+    application messages addressed to their group, plus group view changes.
+
+    Partitions: Totem forms a ring per component; this layer marks a view
+    primary iff the ring contains a strict majority of the last primary
+    ring (the paper's primary-component model).
+
+    Late joiners learn the group map from a [Snapshot] message that every
+    map-holding member multicasts right after a ring change; its content is
+    captured at ring installation, a point totally ordered with respect to
+    all other messages, so adopting it plus the ops delivered since the
+    ring change reconstructs the exact map. *)
+
+type t
+
+type payload
+(** The wire payload this layer puts on the network (opaque). *)
+
+type event =
+  | Deliver of { msg : Msg.t; from_node : Netsim.Node_id.t }
+      (** Ordered application message addressed to the subscribed group. *)
+  | View_change of View.t
+      (** The subscribed group's membership or primary status changed. *)
+  | Block
+      (** A membership change is in progress; multicasts are queued. *)
+  | Evicted
+      (** This node rejoined a primary component after sitting in a
+          minority one: everything it did meanwhile is void, and it is no
+          longer a member of any group (the primary side pruned it).  A
+          replica must halt and rejoin through state-transfer recovery. *)
+
+val create :
+  Dsim.Engine.t ->
+  payload Totem.Wire.t Netsim.Network.t ->
+  me:Netsim.Node_id.t ->
+  ?totem_config:Totem.Config.t ->
+  bootstrap:bool ->
+  unit ->
+  t
+(** [bootstrap] nodes start with an empty group map (the initial fleet);
+    nodes added to a running system pass [false] and wait for a snapshot. *)
+
+val start : t -> unit
+val me : t -> Netsim.Node_id.t
+
+val join_group : t -> Group_id.t -> handler:(event -> unit) -> unit
+(** Subscribe locally and announce membership.  The handler starts
+    receiving once this node's join message is delivered (first event is
+    the [View_change] containing this node).  Raises [Invalid_argument] if
+    already joined on this node. *)
+
+val leave_group : t -> Group_id.t -> unit
+
+val multicast : ?unless:(unit -> bool) -> t -> Msg.t -> unit
+(** Reliable totally-ordered multicast.  Delivered to the members of
+    [msg.header.dst_grp] — including the sender if it is a member — in the
+    same order everywhere.  [unless] is evaluated when the message is about
+    to go out; returning [true] cancels it (duplicate suppression). *)
+
+val members_of : t -> Group_id.t -> Netsim.Node_id.t list
+(** Current members in join order ([] when unknown). *)
+
+val view_of : t -> Group_id.t -> View.t option
+val is_primary_component : t -> bool
+val ring : t -> Totem.Ring_id.t option
+val totem : t -> payload Totem.Node.t
+(** Escape hatch for instrumentation (stats, token probe). *)
+
+val crash : t -> unit

@@ -1,0 +1,12 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Group_id.of_int: negative";
+  i
+
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf t = Format.fprintf ppf "g%d" t
+
+module Map = Map.Make (Int)

@@ -1,0 +1,13 @@
+(** Process-group identifiers (the paper's [src_grp_id] / [dst_grp_id]). *)
+
+type t
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negative input. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t

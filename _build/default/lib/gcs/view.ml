@@ -1,0 +1,22 @@
+type t = {
+  group : Group_id.t;
+  members : (Netsim.Node_id.t * int) list;
+  primary : bool;
+}
+
+let members_nodes t = List.map fst t.members
+
+let rank_of t node =
+  List.find_map
+    (fun (n, r) -> if Netsim.Node_id.equal n node then Some r else None)
+    t.members
+
+let size t = List.length t.members
+
+let pp ppf t =
+  Format.fprintf ppf "view(%a)[%a]%s" Group_id.pp t.group
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       (fun ppf (n, r) -> Format.fprintf ppf "%a#%d" Netsim.Node_id.pp n r))
+    t.members
+    (if t.primary then "" else " (non-primary)")

@@ -1,0 +1,21 @@
+(** Group membership views.
+
+    A view lists the group's members in join order, so the member at rank 0
+    is the primary under the primary/backup replication styles.  [primary]
+    is the primary-*component* flag: whether this node's network component
+    contains a majority of the last primary component (paper §2: "only the
+    primary component survives a network partition"). *)
+
+type t = {
+  group : Group_id.t;
+  members : (Netsim.Node_id.t * int) list;
+      (** [(node, rank)] in join order; rank 0 first *)
+  primary : bool;
+}
+
+val members_nodes : t -> Netsim.Node_id.t list
+(** Nodes in rank order. *)
+
+val rank_of : t -> Netsim.Node_id.t -> int option
+val size : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Dsim Format Hashtbl Latency List Node_id Option Trace

@@ -1,0 +1,1 @@
+lib/netsim/trace.ml: Array Dsim Format List Node_id

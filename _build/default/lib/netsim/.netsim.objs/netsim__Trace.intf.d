@@ -1,0 +1,1 @@
+lib/netsim/trace.mli: Dsim Format Node_id

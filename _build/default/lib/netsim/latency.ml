@@ -1,0 +1,49 @@
+type t =
+  | Constant of Dsim.Time.Span.t
+  | Uniform of { lo : Dsim.Time.Span.t; hi : Dsim.Time.Span.t }
+  | Gaussian of { mu : Dsim.Time.Span.t; sigma : Dsim.Time.Span.t }
+  | Mixture of (float * t) list
+
+let default_wire = Dsim.Time.Span.of_us 26
+
+let calibrated ~wire =
+  Mixture
+    [
+      (0.97, Gaussian { mu = wire; sigma = Dsim.Time.Span.of_us 3 });
+      ( 0.03,
+        Gaussian
+          {
+            mu = Dsim.Time.Span.add wire (Dsim.Time.Span.of_us 150);
+            sigma = Dsim.Time.Span.of_us 60;
+          } );
+    ]
+
+let floor_lat = Dsim.Time.Span.of_us 1
+
+let rec sample rng t =
+  let v =
+    match t with
+    | Constant d -> d
+    | Uniform { lo; hi } ->
+        Dsim.Time.Span.of_ns
+          (Dsim.Rng.int_range rng (Dsim.Time.Span.to_ns lo)
+             (Dsim.Time.Span.to_ns hi))
+    | Gaussian { mu; sigma } ->
+        let d =
+          Dsim.Rng.gaussian rng
+            ~mu:(float_of_int (Dsim.Time.Span.to_ns mu))
+            ~sigma:(float_of_int (Dsim.Time.Span.to_ns sigma))
+        in
+        Dsim.Time.Span.of_ns (int_of_float d)
+    | Mixture [] -> invalid_arg "Latency.sample: empty mixture"
+    | Mixture components ->
+        let total = List.fold_left (fun a (w, _) -> a +. w) 0. components in
+        let draw = Dsim.Rng.float rng total in
+        let rec pick acc = function
+          | [] -> assert false
+          | [ (_, m) ] -> m
+          | (w, m) :: rest -> if draw < acc +. w then m else pick (acc +. w) rest
+        in
+        sample rng (pick 0. components)
+  in
+  Dsim.Time.Span.(if v < floor_lat then floor_lat else v)

@@ -1,0 +1,130 @@
+type config = { latency : Latency.t; loss : float }
+
+let default_config =
+  { latency = Latency.calibrated ~wire:Latency.default_wire; loss = 0. }
+
+type 'a port = { handler : src:Node_id.t -> 'a -> unit }
+
+type 'a t = {
+  eng : Dsim.Engine.t;
+  rng : Dsim.Rng.t;
+  mutable cfg : config;
+  ports : (Node_id.t, 'a port) Hashtbl.t;
+  mutable groups : Node_id.Set.t list; (* empty list = no partition *)
+  sent : (Node_id.t, int) Hashtbl.t;
+  delivered : (Node_id.t, int) Hashtbl.t;
+  last_delivery : (Node_id.t * Node_id.t, Dsim.Time.t) Hashtbl.t;
+      (* per (src, dst) path: FIFO ordering, like a switched LAN *)
+  mutable dropped : int;
+  mutable tracer : 'a Trace.t option;
+}
+
+let create eng cfg =
+  if cfg.loss < 0. || cfg.loss >= 1. then
+    invalid_arg "Network.create: loss out of [0, 1)";
+  {
+    eng;
+    rng = Dsim.Rng.split (Dsim.Engine.rng eng);
+    cfg;
+    ports = Hashtbl.create 16;
+    groups = [];
+    sent = Hashtbl.create 16;
+    delivered = Hashtbl.create 16;
+    last_delivery = Hashtbl.create 64;
+    dropped = 0;
+    tracer = None;
+  }
+
+let attach t id handler =
+  if Hashtbl.mem t.ports id then
+    invalid_arg
+      (Format.asprintf "Network.attach: %a already attached" Node_id.pp id);
+  Hashtbl.replace t.ports id { handler }
+
+let detach t id = Hashtbl.remove t.ports id
+let attached t id = Hashtbl.mem t.ports id
+
+let nodes t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.ports []
+  |> List.sort Node_id.compare
+
+let trace_event t ev =
+  match t.tracer with
+  | Some tr -> Trace.record tr ~at:(Dsim.Engine.now t.eng) ev
+  | None -> ()
+
+let bump tbl id =
+  Hashtbl.replace tbl id (1 + Option.value ~default:0 (Hashtbl.find_opt tbl id))
+
+let reachable t ~src ~dst =
+  match t.groups with
+  | [] -> true
+  | groups ->
+      List.exists
+        (fun g -> Node_id.Set.mem src g && Node_id.Set.mem dst g)
+        groups
+
+let deliver t ~src ~dst payload =
+  if reachable t ~src ~dst then
+    if t.cfg.loss > 0. && Dsim.Rng.float t.rng 1.0 < t.cfg.loss then begin
+      t.dropped <- t.dropped + 1;
+      trace_event t (Trace.Dropped { src; dst; payload; reason = Trace.Loss })
+    end
+    else begin
+      let lat = Latency.sample t.rng t.cfg.latency in
+      (* A LAN path delivers in FIFO order: a packet never overtakes an
+         earlier packet on the same (src, dst) path. *)
+      let at = Dsim.Time.add (Dsim.Engine.now t.eng) lat in
+      let at =
+        match Hashtbl.find_opt t.last_delivery (src, dst) with
+        | Some prev when Dsim.Time.(at <= prev) ->
+            Dsim.Time.add prev (Dsim.Time.Span.of_ns 1)
+        | _ -> at
+      in
+      Hashtbl.replace t.last_delivery (src, dst) at;
+      Dsim.Engine.schedule_at t.eng at (fun () ->
+          (* The destination may have crashed while the packet was in
+             flight. *)
+          match Hashtbl.find_opt t.ports dst with
+          | None ->
+              t.dropped <- t.dropped + 1;
+              trace_event t
+                (Trace.Dropped { src; dst; payload; reason = Trace.No_port })
+          | Some port ->
+              bump t.delivered dst;
+              trace_event t (Trace.Delivered { src; dst; payload });
+              port.handler ~src payload)
+    end
+  else begin
+    t.dropped <- t.dropped + 1;
+    trace_event t
+      (Trace.Dropped { src; dst; payload; reason = Trace.Partitioned })
+  end
+
+let send t ~src ~dst payload =
+  bump t.sent src;
+  trace_event t (Trace.Sent { src; dst = Some dst; payload });
+  deliver t ~src ~dst payload
+
+let broadcast t ~src payload =
+  bump t.sent src;
+  trace_event t (Trace.Sent { src; dst = None; payload });
+  let dsts = List.filter (fun n -> not (Node_id.equal n src)) (nodes t) in
+  List.iter (fun dst -> deliver t ~src ~dst payload) dsts
+
+let set_loss t loss =
+  if loss < 0. || loss >= 1. then invalid_arg "Network.set_loss: out of [0, 1)";
+  t.cfg <- { t.cfg with loss }
+
+let partition t groups =
+  t.groups <- List.map Node_id.Set.of_list groups
+
+let heal t = t.groups <- []
+
+let stats t ~sent id =
+  let tbl = if sent then t.sent else t.delivered in
+  Option.value ~default:0 (Hashtbl.find_opt tbl id)
+
+let packets_dropped t = t.dropped
+let attach_trace t tr = t.tracer <- Some tr
+let detach_trace t = t.tracer <- None

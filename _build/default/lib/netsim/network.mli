@@ -1,0 +1,62 @@
+(** Simulated LAN carrying opaque ['a] payloads.
+
+    Supports unicast and physical broadcast (the Ethernet segment of the
+    paper's testbed), per-packet latency drawn from a {!Latency.t} model,
+    independent packet loss, and network partitions with remerge.  Delivery on
+    each (source, destination) path is FIFO, as on a switched LAN: a packet
+    never overtakes an earlier packet on the same path, but there is no
+    ordering across paths, and packets can be lost — exactly what Totem
+    assumes underneath. *)
+
+type 'a t
+
+type config = {
+  latency : Latency.t;
+  loss : float;  (** independent per-packet loss probability in [0, 1) *)
+}
+
+val default_config : config
+(** Calibrated latency, no loss. *)
+
+val create : Dsim.Engine.t -> config -> 'a t
+
+val attach : 'a t -> Node_id.t -> (src:Node_id.t -> 'a -> unit) -> unit
+(** Register a node's receive handler.  Raises [Invalid_argument] if the
+    node is already attached. *)
+
+val detach : 'a t -> Node_id.t -> unit
+(** Remove a node (models a host crash: in-flight packets to it vanish). *)
+
+val attached : 'a t -> Node_id.t -> bool
+
+val nodes : 'a t -> Node_id.t list
+(** Attached nodes in increasing id order. *)
+
+val send : 'a t -> src:Node_id.t -> dst:Node_id.t -> 'a -> unit
+(** Unicast; silently dropped when lossy, partitioned, or [dst] is not
+    attached.  A node may send to itself (loopback, same latency model). *)
+
+val broadcast : 'a t -> src:Node_id.t -> 'a -> unit
+(** Deliver to every attached node except [src], subject to loss and
+    partitions, with an independent latency draw per receiver. *)
+
+val set_loss : 'a t -> float -> unit
+
+val partition : 'a t -> Node_id.t list list -> unit
+(** [partition net groups] splits the network: a packet is delivered only if
+    its source and destination are in the same group.  Nodes absent from
+    every group are isolated.  Replaces any previous partition. *)
+
+val heal : 'a t -> unit
+(** Remove the partition. *)
+
+val stats : 'a t -> sent:bool -> Node_id.t -> int
+(** [stats net ~sent n]: packets sent by (resp. delivered to) node [n]. *)
+
+val packets_dropped : 'a t -> int
+
+val attach_trace : 'a t -> 'a Trace.t -> unit
+(** Start recording every send, delivery and drop into the trace (at most
+    one trace at a time; replaces any previous one). *)
+
+val detach_trace : 'a t -> unit

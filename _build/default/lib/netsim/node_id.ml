@@ -1,0 +1,14 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Node_id.of_int: negative";
+  i
+
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let hash t = t
+let pp ppf t = Format.fprintf ppf "n%d" t
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

@@ -1,0 +1,18 @@
+(** Node identifiers.
+
+    Small integers naming the simulated hosts ([n0], [n1], ... in the
+    paper's testbed description). *)
+
+type t
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negative input. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

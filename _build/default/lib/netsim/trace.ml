@@ -1,0 +1,69 @@
+type reason = Loss | Partitioned | No_port
+
+type 'a event =
+  | Sent of { src : Node_id.t; dst : Node_id.t option; payload : 'a }
+  | Delivered of { src : Node_id.t; dst : Node_id.t; payload : 'a }
+  | Dropped of {
+      src : Node_id.t;
+      dst : Node_id.t;
+      payload : 'a;
+      reason : reason;
+    }
+
+type 'a entry = { at : Dsim.Time.t; ev : 'a event }
+
+type 'a t = {
+  capacity : int;
+  buf : 'a entry option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity <= 0";
+  { capacity; buf = Array.make capacity None; next = 0; total = 0 }
+
+let record t ~at ev =
+  t.buf.(t.next) <- Some { at; ev };
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let length t = min t.total t.capacity
+
+let entries t =
+  let n = length t in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  List.init n (fun i ->
+      match t.buf.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let total_recorded t = t.total
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0
+
+let pp_reason ppf = function
+  | Loss -> Format.pp_print_string ppf "loss"
+  | Partitioned -> Format.pp_print_string ppf "partitioned"
+  | No_port -> Format.pp_print_string ppf "no-port"
+
+let pp pp_payload ppf t =
+  List.iter
+    (fun { at; ev } ->
+      match ev with
+      | Sent { src; dst = Some dst; payload } ->
+          Format.fprintf ppf "%a %a -> %a: %a@." Dsim.Time.pp at Node_id.pp src
+            Node_id.pp dst pp_payload payload
+      | Sent { src; dst = None; payload } ->
+          Format.fprintf ppf "%a %a -> *: %a@." Dsim.Time.pp at Node_id.pp src
+            pp_payload payload
+      | Delivered { src; dst; payload } ->
+          Format.fprintf ppf "%a %a => %a: %a@." Dsim.Time.pp at Node_id.pp src
+            Node_id.pp dst pp_payload payload
+      | Dropped { src; dst; payload; reason } ->
+          Format.fprintf ppf "%a %a -x %a (%a): %a@." Dsim.Time.pp at
+            Node_id.pp src Node_id.pp dst pp_reason reason pp_payload payload)
+    (entries t)

@@ -1,0 +1,38 @@
+(** Bounded packet traces.
+
+    A trace subscribes to a network's event stream and keeps the last
+    [capacity] events with their simulated timestamps — the tool for
+    post-mortem debugging of protocol runs and for tests that assert on
+    traffic patterns. *)
+
+type reason = Loss | Partitioned | No_port
+
+type 'a event =
+  | Sent of { src : Node_id.t; dst : Node_id.t option; payload : 'a }
+      (** [dst = None] for a broadcast *)
+  | Delivered of { src : Node_id.t; dst : Node_id.t; payload : 'a }
+  | Dropped of {
+      src : Node_id.t;
+      dst : Node_id.t;
+      payload : 'a;
+      reason : reason;
+    }
+
+type 'a entry = { at : Dsim.Time.t; ev : 'a event }
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default capacity: 4096 events. *)
+
+val record : 'a t -> at:Dsim.Time.t -> 'a event -> unit
+val entries : 'a t -> 'a entry list
+(** Oldest first; at most [capacity]. *)
+
+val length : 'a t -> int
+val total_recorded : 'a t -> int
+(** Including events that have been evicted from the buffer. *)
+
+val clear : 'a t -> unit
+
+val pp :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

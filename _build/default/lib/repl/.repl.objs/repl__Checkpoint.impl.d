@@ -1,0 +1,1 @@
+lib/repl/checkpoint.ml: Cts Gcs Netsim

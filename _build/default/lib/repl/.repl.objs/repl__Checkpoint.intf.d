@@ -1,0 +1,1 @@
+lib/repl/checkpoint.mli: Cts Gcs Netsim

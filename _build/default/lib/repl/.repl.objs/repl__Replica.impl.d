@@ -1,0 +1,1 @@
+lib/repl/replica.ml: Checkpoint Clock Cts Dsim Gcs Hashtbl List Logs Netsim Queue Rpc

@@ -1,0 +1,1 @@
+lib/repl/replica.mli: Clock Cts Dsim Gcs Netsim

@@ -1,0 +1,20 @@
+type t = {
+  upto : int;
+  app_state : string;
+  rounds : (Cts.Thread_id.t * int) list;
+}
+
+type Gcs.Msg.body +=
+  | State of { for_node : Netsim.Node_id.t; checkpoint : t }
+  | Periodic of t
+
+let conn_id = 1
+
+let state_msg ~group ~for_node checkpoint =
+  Gcs.Msg.make ~msg_type:"STATE" ~src_grp:group ~dst_grp:group ~conn_id
+    ~msg_seq:(Netsim.Node_id.to_int for_node)
+    (State { for_node; checkpoint })
+
+let periodic_msg ~group checkpoint =
+  Gcs.Msg.make ~msg_type:"CHECKPOINT" ~src_grp:group ~dst_grp:group ~conn_id
+    ~msg_seq:checkpoint.upto (Periodic checkpoint)

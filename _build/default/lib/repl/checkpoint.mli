@@ -1,0 +1,28 @@
+(** Replica checkpoints.
+
+    A checkpoint captures the application state together with the
+    per-thread CCS round numbers of the consistent time service, so that a
+    replica applying it can fast-forward its clock handlers past the rounds
+    the state already reflects (otherwise a promoted backup or a recovered
+    replica would replay stale group clock values). *)
+
+type t = {
+  upto : int;
+      (** number of requests (in delivery order) the state reflects *)
+  app_state : string;  (** opaque application snapshot *)
+  rounds : (Cts.Thread_id.t * int) list;
+      (** CCS round number of each clock-using thread at the snapshot *)
+}
+
+type Gcs.Msg.body +=
+  | State of { for_node : Netsim.Node_id.t; checkpoint : t }
+      (** state transfer to the named joining replica *)
+  | Periodic of t
+      (** the passive primary's periodic checkpoint to its backups *)
+
+val conn_id : int
+(** Replication-control messages of a group travel on a reserved
+    connection (distinct from the CCS connection). *)
+
+val state_msg : group:Gcs.Group_id.t -> for_node:Netsim.Node_id.t -> t -> Gcs.Msg.t
+val periodic_msg : group:Gcs.Group_id.t -> t -> Gcs.Msg.t

@@ -1,0 +1,103 @@
+(** A replicated server instance (the paper's PluggableFT-style
+    infrastructure, §2).
+
+    One replica runs per node.  It joins the server group, feeds every
+    delivered message and view change to its consistent time service, and
+    drives a single processing thread (§2: "one and only one thread is
+    assigned to process incoming remote method invocations") that executes
+    requests in the agreed delivery order.
+
+    Replication styles:
+
+    - {!Active}: every replica processes every request and sends the reply
+      (the client suppresses duplicates); all replicas compete in CCS
+      rounds.
+    - {!Passive}: only the primary (group rank 0) processes; backups log
+      requests and apply the primary's periodic checkpoints; on failover
+      the promoted backup replays its log — consuming the logged CCS
+      winners, so clock reads replay deterministically — and takes over.
+    - {!Semi_active}: all replicas process, but nondeterministic decisions
+      (clock reads) are made by the primary and conveyed through CCS
+      messages; only the primary emits replies.
+
+    Adding a replica to a running group performs the paper's §3.2 state
+    transfer: existing replicas reach the join point in processing order,
+    run the special CCS round, snapshot, and multicast the state; the new
+    replica adopts the group clock from the special round's CCS message,
+    applies the checkpoint, and then processes the requests ordered after
+    its join. *)
+
+type style = Active | Passive | Semi_active
+
+type config = {
+  style : style;
+  checkpoint_interval : int;
+      (** passive style: checkpoint every N requests *)
+  recovering : bool;  (** [true] when added to a running group *)
+  drift : Cts.Drift.t;
+  offset_tracking : bool;
+      (** [false] selects the prior-work baseline clock service *)
+  initial_members : Netsim.Node_id.t list;
+      (** nodes known to host bootstrap replicas: no state transfer is
+          initiated when they appear in the view (they already have the
+          initial state); a node joining later — or rejoining after a crash
+          — always gets one *)
+}
+
+val default_config : config
+(** Active, checkpoint every 50 requests, bootstrap member, no drift
+    compensation, offset tracking on. *)
+
+(** The replicated application.  [handle] runs in the processing fiber and
+    may block (e.g. on consistent clock reads); [snapshot]/[restore]
+    serialize the full application state. *)
+type app = {
+  handle : thread:Cts.Thread_id.t -> op:string -> arg:string -> string;
+  snapshot : unit -> string;
+  restore : string -> unit;
+}
+
+type t
+
+val create :
+  Dsim.Engine.t ->
+  endpoint:Gcs.Endpoint.t ->
+  group:Gcs.Group_id.t ->
+  clock:Clock.Hwclock.t ->
+  ?config:config ->
+  app:(Cts.Service.t -> app) ->
+  unit ->
+  t
+(** Joins the group and starts the processing thread.  The [app] factory
+    receives the replica's consistent time service so request handlers can
+    perform group clock reads. *)
+
+val service : t -> Cts.Service.t
+val me : t -> Netsim.Node_id.t
+val group : t -> Gcs.Group_id.t
+
+val is_primary : t -> bool
+(** Rank 0 in the current group view. *)
+
+val recovered : t -> bool
+(** [false] while a joining replica is still waiting for its state. *)
+
+val halted : t -> bool
+(** [true] after eviction from the primary component (the replica sat in a
+    minority partition that remerged).  A halted replica serves nothing;
+    rejoin by creating a fresh replica with [recovering = true]. *)
+
+val processed : t -> int
+(** Requests executed by this replica's processing thread. *)
+
+val delivered : t -> int
+(** Requests delivered (processed or logged). *)
+
+val snapshot : t -> string
+(** The application's current state snapshot (for test assertions). *)
+
+val main_thread : Cts.Thread_id.t
+(** The logical id of the processing thread (1 at every replica). *)
+
+val crash : t -> unit
+(** Fail-stop the replica (and its node's endpoint). *)

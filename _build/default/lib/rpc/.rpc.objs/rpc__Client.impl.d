@@ -1,0 +1,1 @@
+lib/rpc/client.ml: Dsim Gcs Hashtbl Wire

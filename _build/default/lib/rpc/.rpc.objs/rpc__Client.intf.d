@@ -1,0 +1,1 @@
+lib/rpc/client.mli: Dsim Gcs

@@ -1,0 +1,17 @@
+type Gcs.Msg.body +=
+  | Request of { op : string; arg : string; ts : Dsim.Time.t option }
+  | Reply of {
+      result : string;
+      replica : Netsim.Node_id.t;
+      ts : Dsim.Time.t option;
+    }
+
+let request ~src_grp ~dst_grp ~conn_id ~msg_seq ~op ~arg ?ts () =
+  Gcs.Msg.make ~msg_type:"REQUEST" ~src_grp ~dst_grp ~conn_id ~msg_seq
+    (Request { op; arg; ts })
+
+let reply ~(request_header : Gcs.Msg.header) ~replica ~result ?ts () =
+  Gcs.Msg.make ~msg_type:"REPLY" ~src_grp:request_header.dst_grp
+    ~dst_grp:request_header.src_grp ~conn_id:request_header.conn_id
+    ~msg_seq:request_header.msg_seq
+    (Reply { result; replica; ts })

@@ -1,0 +1,42 @@
+(** Remote-method-invocation message bodies.
+
+    Models the CORBA layer of the paper's testbed (e*ORB over the
+    replication infrastructure): requests and replies travel as
+    totally-ordered group multicasts with the common protocol header.
+    Operation names and arguments are strings — the simulation's stand-in
+    for IIOP marshalling. *)
+
+type Gcs.Msg.body +=
+  | Request of { op : string; arg : string; ts : Dsim.Time.t option }
+  | Reply of {
+      result : string;
+      replica : Netsim.Node_id.t;
+      ts : Dsim.Time.t option;
+    }
+
+(** [ts] is the paper's §5 extension: the sender's view of its group clock,
+    included "as a timestamp in the user messages multicast to the
+    different groups" so that causal relations between the group clocks of
+    different groups are maintained. *)
+
+val request :
+  src_grp:Gcs.Group_id.t ->
+  dst_grp:Gcs.Group_id.t ->
+  conn_id:int ->
+  msg_seq:int ->
+  op:string ->
+  arg:string ->
+  ?ts:Dsim.Time.t ->
+  unit ->
+  Gcs.Msg.t
+
+val reply :
+  request_header:Gcs.Msg.header ->
+  replica:Netsim.Node_id.t ->
+  result:string ->
+  ?ts:Dsim.Time.t ->
+  unit ->
+  Gcs.Msg.t
+(** Build the reply for a request: groups are swapped, and the connection
+    id and sequence number are echoed so the client can correlate and
+    deduplicate. *)

@@ -1,0 +1,1 @@
+lib/scenario/apps.ml: Array Clock Cluster Cts Dsim List Printf Repl String

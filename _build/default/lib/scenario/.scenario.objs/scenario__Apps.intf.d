@@ -1,0 +1,1 @@
+lib/scenario/apps.mli: Cluster Cts Dsim Repl

@@ -1,0 +1,1 @@
+lib/scenario/cluster.ml: Array Clock Dsim Gcs List Netsim Totem

@@ -1,0 +1,1 @@
+lib/scenario/cluster.mli: Clock Dsim Gcs Netsim Totem

@@ -1,0 +1,1 @@
+lib/scenario/experiments.ml: Apps Array Clock Cluster Cts Dsim Fun Gcs List Netsim Option Printf Repl Rpc Stats String Totem

@@ -1,0 +1,1 @@
+lib/scenario/experiments.mli: Array Dsim Repl Stats Totem

@@ -1,0 +1,1 @@
+lib/scenario/report.ml: Array Dsim Experiments Format List Stats

@@ -1,0 +1,68 @@
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+
+type recorder = {
+  on_round :
+    round:int -> real:Time.t -> pc:Time.t -> gc:Time.t -> offset:Span.t -> unit;
+}
+
+let null_recorder =
+  { on_round = (fun ~round:_ ~real:_ ~pc:_ ~gc:_ ~offset:_ -> ()) }
+
+let parse_seq_arg arg =
+  match String.split_on_char ':' arg with
+  | [ count; delays ] ->
+      let count = int_of_string count in
+      let delays =
+        String.split_on_char ',' delays |> List.map int_of_string
+      in
+      if count <= 0 || delays = [] then invalid_arg "seq";
+      (count, delays)
+  | _ -> invalid_arg "seq"
+
+let time_server (cluster : Cluster.t) ~node ?(use_cts = true)
+    ?(recorder = null_recorder) () service =
+  let eng = cluster.Cluster.eng in
+  let clock = cluster.Cluster.nodes.(node).Cluster.clock in
+  let rng = Dsim.Rng.split (Dsim.Engine.rng eng) in
+  let uid_counter = ref 0 in
+  let read ~thread call =
+    if use_cts then Cts.Service.clock_read service ~thread ~call
+    else
+      Time.truncate_to (Cts.Call_type.granularity call)
+        (Clock.Hwclock.read clock)
+  in
+  let handle ~thread ~op ~arg =
+    match op with
+    | "gettimeofday" ->
+        string_of_int (Time.to_ns (read ~thread Cts.Call_type.Gettimeofday))
+    | "time" -> string_of_int (Time.to_ns (read ~thread Cts.Call_type.Time))
+    | "uid" ->
+        incr uid_counter;
+        Printf.sprintf "%d.%d"
+          (Time.to_ns (read ~thread Cts.Call_type.Gettimeofday))
+          !uid_counter
+    | "seq" ->
+        let count, delays = parse_seq_arg arg in
+        let last = ref Time.epoch in
+        for round = 1 to count do
+          (* The paper inserts an empty iteration loop between operations;
+             the achieved delay varies slightly with CPU scheduling.  We
+             draw the nominal delay per replica and add small noise. *)
+          let nominal = Dsim.Rng.choose rng delays in
+          let noise = Dsim.Rng.int_range rng 0 20 in
+          Dsim.Fiber.sleep eng (Span.of_us (nominal + noise));
+          let pc = Clock.Hwclock.read clock in
+          let gc = read ~thread Cts.Call_type.Gettimeofday in
+          last := gc;
+          recorder.on_round ~round ~real:(Dsim.Engine.now eng) ~pc ~gc
+            ~offset:(Cts.Service.offset service)
+        done;
+        string_of_int (Time.to_ns !last)
+    | _ -> arg
+  in
+  {
+    Repl.Replica.handle;
+    snapshot = (fun () -> string_of_int !uid_counter);
+    restore = (fun s -> uid_counter := int_of_string s);
+  }

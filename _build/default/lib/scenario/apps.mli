@@ -1,0 +1,40 @@
+(** Replicated applications used by the examples, tests and benchmarks. *)
+
+type recorder = {
+  on_round :
+    round:int ->
+    real:Dsim.Time.t ->
+    pc:Dsim.Time.t ->
+    gc:Dsim.Time.t ->
+    offset:Dsim.Time.Span.t ->
+    unit;
+}
+(** Per-replica instrumentation callback invoked after each clock round of
+    the ["seq"] operation ([real] = simulation time when the round ended,
+    [pc] = physical clock at the start of the round, [gc] = group clock
+    returned, [offset] = clock offset after the round). *)
+
+val null_recorder : recorder
+
+val time_server :
+  Cluster.t ->
+  node:int ->
+  ?use_cts:bool ->
+  ?recorder:recorder ->
+  unit ->
+  Cts.Service.t ->
+  Repl.Replica.app
+(** The paper's evaluation server.  Operations:
+
+    - ["gettimeofday"] — returns the clock reading in nanoseconds (group
+      clock when [use_cts], the replica's raw physical clock otherwise —
+      the paper's "without consistent time service" baseline);
+    - ["time"] — second-granularity reading;
+    - ["uid"] — a unique identifier seeded by the clock reading (the
+      introduction's motivating use case): ["<reading_ns>.<counter>"];
+    - ["seq"] with argument ["<count>:<d1,d2,...>"] — §4.2 experiment (2):
+      perform [count] clock-related operations separated by a random delay
+      drawn from the given microsecond choices (plus small scheduling
+      noise), reporting each round to the recorder; returns the last group
+      clock value;
+    - anything else — echoes the argument. *)

@@ -1,0 +1,76 @@
+type node = {
+  id : Netsim.Node_id.t;
+  endpoint : Gcs.Endpoint.t;
+  clock : Clock.Hwclock.t;
+}
+
+type t = {
+  eng : Dsim.Engine.t;
+  net : Gcs.Endpoint.payload Totem.Wire.t Netsim.Network.t;
+  nodes : node array;
+  server_group : Gcs.Group_id.t;
+  client_group : Gcs.Group_id.t;
+}
+
+let create ?(seed = 1L) ?latency ?totem_config ?clock_config ?bootstrap ~nodes
+    () =
+  let eng = Dsim.Engine.create ~seed () in
+  let latency =
+    match latency with
+    | Some l -> l
+    | None -> Netsim.Latency.calibrated ~wire:Netsim.Latency.default_wire
+  in
+  let net = Netsim.Network.create eng { Netsim.Network.latency; loss = 0. } in
+  let clock_config =
+    match clock_config with
+    | Some f -> f
+    | None -> fun _ -> Clock.Hwclock.default_config
+  in
+  let bootstrap = match bootstrap with Some f -> f | None -> fun _ -> true in
+  let make i =
+    let id = Netsim.Node_id.of_int i in
+    {
+      id;
+      endpoint =
+        Gcs.Endpoint.create eng net ~me:id ?totem_config
+          ~bootstrap:(bootstrap i) ();
+      clock = Clock.Hwclock.create eng (clock_config i);
+    }
+  in
+  {
+    eng;
+    net;
+    nodes = Array.init nodes make;
+    server_group = Gcs.Group_id.of_int 1;
+    client_group = Gcs.Group_id.of_int 2;
+  }
+
+let start t i = Gcs.Endpoint.start t.nodes.(i).endpoint
+let start_all t = Array.iteri (fun i _ -> start t i) t.nodes
+
+let run_for t span =
+  Dsim.Engine.run ~until:(Dsim.Time.add (Dsim.Engine.now t.eng) span) t.eng
+
+let run_until ?(limit = Dsim.Time.Span.of_sec 10) t pred =
+  let deadline = Dsim.Time.add (Dsim.Engine.now t.eng) limit in
+  let rec go () =
+    if pred () then ()
+    else if Dsim.Time.(Dsim.Engine.now t.eng > deadline) then
+      failwith "Cluster.run_until: time limit exceeded"
+    else if not (Dsim.Engine.step t.eng) then
+      failwith "Cluster.run_until: event queue drained before predicate held"
+    else go ()
+  in
+  go ()
+
+let ring_stable t ~on_nodes =
+  let totems =
+    List.map (fun i -> Gcs.Endpoint.totem t.nodes.(i).endpoint) on_nodes
+  in
+  let expect = List.map (fun i -> Netsim.Node_id.of_int i) on_nodes in
+  let expect = List.sort Netsim.Node_id.compare expect in
+  List.for_all
+    (fun tot ->
+      Totem.Node.is_operational tot
+      && List.sort Netsim.Node_id.compare (Totem.Node.members tot) = expect)
+    totems

@@ -1,0 +1,51 @@
+(** Canned simulated testbed.
+
+    Reproduces the paper's §4.2 setup: [n] PCs on a quiet 100 Mb/s Ethernet
+    running one Totem instance each; node [n0] hosts the (unreplicated)
+    CORBA client, the server replicas run on the remaining nodes.  Used by
+    the examples, the integration tests and every benchmark. *)
+
+type node = {
+  id : Netsim.Node_id.t;
+  endpoint : Gcs.Endpoint.t;
+  clock : Clock.Hwclock.t;
+}
+
+type t = {
+  eng : Dsim.Engine.t;
+  net : Gcs.Endpoint.payload Totem.Wire.t Netsim.Network.t;
+  nodes : node array;
+  server_group : Gcs.Group_id.t;
+  client_group : Gcs.Group_id.t;
+}
+
+val create :
+  ?seed:int64 ->
+  ?latency:Netsim.Latency.t ->
+  ?totem_config:Totem.Config.t ->
+  ?clock_config:(int -> Clock.Hwclock.config) ->
+  ?bootstrap:(int -> bool) ->
+  nodes:int ->
+  unit ->
+  t
+(** [clock_config i] gives node [i]'s physical clock parameters (default:
+    ideal clocks with 1 µs granularity).  [bootstrap i] marks node [i] as
+    part of the initial fleet (default: all). The endpoints are created but
+    not started. *)
+
+val start : t -> int -> unit
+(** Start node [i]'s endpoint (join the ring). *)
+
+val start_all : t -> unit
+
+val run_for : t -> Dsim.Time.Span.t -> unit
+(** Advance the simulation by a virtual duration. *)
+
+val run_until :
+  ?limit:Dsim.Time.Span.t -> t -> (unit -> bool) -> unit
+(** Step the simulation until the predicate holds.  Raises [Failure] if the
+    event queue drains or the limit (default 10 s) is exceeded first. *)
+
+val ring_stable : t -> on_nodes:int list -> bool
+(** All the given nodes are operational on a common ring containing exactly
+    those nodes. *)

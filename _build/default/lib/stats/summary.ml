@@ -1,0 +1,69 @@
+type t = {
+  mutable samples : float array;
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  mutable sorted : bool;
+}
+
+let create () =
+  {
+    samples = Array.make 64 0.;
+    n = 0;
+    mean = 0.;
+    m2 = 0.;
+    min = infinity;
+    max = neg_infinity;
+    sorted = true;
+  }
+
+let add t x =
+  if t.n = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.n) 0. in
+    Array.blit t.samples 0 bigger 0 t.n;
+    t.samples <- bigger
+  end;
+  t.samples.(t.n) <- x;
+  t.n <- t.n + 1;
+  t.sorted <- false;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.n
+let mean t = t.mean
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = t.min
+let max t = t.max
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.n in
+    Array.sort Float.compare live;
+    Array.blit live 0 t.samples 0 t.n;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Summary.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Summary.percentile: p out of range";
+  ensure_sorted t;
+  let rank = p /. 100. *. float_of_int (t.n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  let frac = rank -. float_of_int lo in
+  (t.samples.(lo) *. (1. -. frac)) +. (t.samples.(hi) *. frac)
+
+let median t = percentile t 50.
+
+let pp ppf t =
+  if t.n = 0 then Format.fprintf ppf "(no samples)"
+  else
+    Format.fprintf ppf
+      "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p99=%.2f max=%.2f" t.n t.mean
+      (stddev t) t.min (median t) (percentile t 99.) t.max

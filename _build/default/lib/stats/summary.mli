@@ -1,0 +1,27 @@
+(** Online summary statistics (Welford) and exact percentiles.
+
+    The accumulator keeps every sample, so percentiles are exact; the mean
+    and variance are additionally maintained online so they stay available
+    without a sort. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+
+val stddev : t -> float
+(** Sample standard deviation (n-1 denominator); [0.] for n < 2. *)
+
+val min : t -> float
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 100\]], linear interpolation between
+    order statistics.  Raises [Invalid_argument] when empty or [p] is out of
+    range. *)
+
+val median : t -> float
+val pp : Format.formatter -> t -> unit

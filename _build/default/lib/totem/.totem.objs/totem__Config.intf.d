@@ -1,0 +1,1 @@
+lib/totem/config.mli: Dsim

@@ -1,0 +1,1 @@
+lib/totem/node.ml: Config Dsim Hashtbl Int List Logs Netsim Option Queue Ring_id Stdlib Store Wire

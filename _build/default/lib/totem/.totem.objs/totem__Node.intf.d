@@ -1,0 +1,1 @@
+lib/totem/node.mli: Config Dsim Netsim Ring_id Wire

@@ -1,0 +1,1 @@
+lib/totem/ring_id.ml: Format Int Map Netsim

@@ -1,0 +1,1 @@
+lib/totem/ring_id.mli: Format Map Netsim

@@ -1,0 +1,1 @@
+lib/totem/store.ml: Hashtbl List Wire

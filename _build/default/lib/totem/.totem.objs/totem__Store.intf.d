@@ -1,0 +1,1 @@
+lib/totem/store.mli: Wire

@@ -1,0 +1,1 @@
+lib/totem/wire.ml: Format List Netsim Ring_id

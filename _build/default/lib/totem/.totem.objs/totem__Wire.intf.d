@@ -1,0 +1,1 @@
+lib/totem/wire.mli: Format Netsim Ring_id

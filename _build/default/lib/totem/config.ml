@@ -1,0 +1,34 @@
+type delivery = Agreed | Safe
+
+type t = {
+  delivery : delivery;
+  token_hold : Dsim.Time.Span.t;
+  per_msg_cost : Dsim.Time.Span.t;
+  max_msgs_per_visit : int;
+  window : int;
+  token_loss_timeout : Dsim.Time.Span.t;
+  token_retransmit : Dsim.Time.Span.t;
+  join_retransmit : Dsim.Time.Span.t;
+  consensus_timeout : Dsim.Time.Span.t;
+  commit_timeout : Dsim.Time.Span.t;
+  recovery_retry : Dsim.Time.Span.t;
+  recovery_timeout : Dsim.Time.Span.t;
+  presence_interval : Dsim.Time.Span.t;
+}
+
+let default =
+  {
+    delivery = Agreed;
+    token_hold = Dsim.Time.Span.of_us 25;
+    per_msg_cost = Dsim.Time.Span.of_us 4;
+    max_msgs_per_visit = 20;
+    window = 80;
+    token_loss_timeout = Dsim.Time.Span.of_ms 3;
+    token_retransmit = Dsim.Time.Span.of_us 800;
+    join_retransmit = Dsim.Time.Span.of_ms 1;
+    consensus_timeout = Dsim.Time.Span.of_ms 4;
+    commit_timeout = Dsim.Time.Span.of_ms 4;
+    recovery_retry = Dsim.Time.Span.of_ms 1;
+    recovery_timeout = Dsim.Time.Span.of_ms 8;
+    presence_interval = Dsim.Time.Span.of_ms 10;
+  }

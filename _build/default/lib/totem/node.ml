@@ -1,0 +1,832 @@
+module Nid = Netsim.Node_id
+module Set = Netsim.Node_id.Set
+module IntSet = Stdlib.Set.Make (Int)
+
+let src = Logs.Src.create "totem" ~doc:"Totem single-ring protocol"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type 'a event =
+  | Deliver of {
+      ring : Ring_id.t;
+      seq : int;
+      sender : Nid.t;
+      payload : 'a;
+    }
+  | View of { ring : Ring_id.t; members : Nid.t list }
+  | Blocked
+
+type stats = {
+  tokens_seen : int;
+  msgs_sent : int;
+  retransmits : int;
+  views_installed : int;
+  delivered : int;
+}
+
+type gather_state = {
+  mutable proc_set : Set.t;
+  mutable fail_set : Set.t;
+  joins : (Nid.t, Wire.join) Hashtbl.t;
+  mutable round : int; (* bumped on each Gather -> Wait_commit transition *)
+}
+
+type recovery_state = {
+  commit : Wire.commit;
+  offers : (Nid.t, (Ring_id.t * int list) list) Hashtbl.t;
+  mutable done_from : Set.t;
+  mutable my_done_sent : bool;
+  mutable stashed_token : Wire.token option;
+}
+
+type state =
+  | Idle
+  | Operational
+  | Gather of gather_state
+  | Wait_commit of gather_state
+  | Recover of recovery_state
+  | Crashed
+
+type 'a t = {
+  eng : Dsim.Engine.t;
+  net : 'a Wire.t Netsim.Network.t;
+  me : Nid.t;
+  cfg : Config.t;
+  handler : 'a event -> unit;
+  mutable state : state;
+  mutable ring : Ring_id.t option;
+      (* the ring this node last went operational on; flips only when a new
+         ring's recovery completes, so joins always advertise the ring whose
+         messages may still need recovering *)
+  mutable members : Nid.t list;
+  mutable stores : 'a Store.t Ring_id.Map.t;
+  pending : ('a * (unit -> bool) option) Queue.t;
+      (* payload + optional cancellation predicate evaluated at broadcast
+         time (the paper's token-level duplicate suppression) *)
+  mutable max_gen : int;
+  mutable epoch : int; (* bumped on state change; cancels stale timers *)
+  mutable token_era : int; (* bumped per accepted token *)
+  mutable last_token_seq : int;
+  mutable prev_visit_aru : int;
+  mutable last_visit_count : int; (* fcc bookkeeping *)
+  mutable stat_tokens : int;
+  mutable stat_sent : int;
+  mutable stat_retrans : int;
+  mutable stat_views : int;
+  mutable stat_delivered : int;
+  mutable token_probe : (Wire.token -> unit) option;
+}
+
+let me t = t.me
+let ring t = t.ring
+let members t = t.members
+let is_operational t = match t.state with Operational -> true | _ -> false
+let pending t = Queue.length t.pending
+
+let stats t =
+  {
+    tokens_seen = t.stat_tokens;
+    msgs_sent = t.stat_sent;
+    retransmits = t.stat_retrans;
+    views_installed = t.stat_views;
+    delivered = t.stat_delivered;
+  }
+
+let on_token t f = t.token_probe <- Some f
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+
+let crashed t = match t.state with Crashed -> true | _ -> false
+
+let after t span f =
+  let ep = t.epoch in
+  Dsim.Engine.schedule t.eng span (fun () ->
+      if (not (crashed t)) && t.epoch = ep then f ())
+
+let after_token t span f =
+  let ep = t.epoch and era = t.token_era in
+  Dsim.Engine.schedule t.eng span (fun () ->
+      if (not (crashed t)) && t.epoch = ep && t.token_era = era then f ())
+
+let bcast t msg = Netsim.Network.broadcast t.net ~src:t.me msg
+let unicast t ~dst msg = Netsim.Network.send t.net ~src:t.me ~dst msg
+
+let store_for t ring =
+  match Ring_id.Map.find_opt ring t.stores with
+  | Some s -> s
+  | None ->
+      let s = Store.create () in
+      t.stores <- Ring_id.Map.add ring s t.stores;
+      s
+
+let known_store t ring = Ring_id.Map.find_opt ring t.stores
+
+let my_old_ring_info t : Wire.old_ring_info =
+  match t.ring with
+  | None -> { old_ring = None; high_seq = 0; old_aru = 0 }
+  | Some r ->
+      let s = store_for t r in
+      { old_ring = Some r; high_seq = Store.high_seq s; old_aru = Store.aru s }
+
+(* Deliver the contiguous received-but-undelivered prefix of the current
+   ring, up to [upto] when given (safe delivery withholds messages not yet
+   known stable everywhere). *)
+let drain_deliveries ?upto t =
+  match (t.state, t.ring) with
+  | Operational, Some r ->
+      let s = store_for t r in
+      let rec go () =
+        match Store.next_to_deliver s with
+        | None -> ()
+        | Some (msg : 'a Wire.regular)
+          when match upto with Some u -> msg.seq > u | None -> false ->
+            ()
+        | Some (msg : 'a Wire.regular) ->
+            Store.set_delivered s msg.seq;
+            t.stat_delivered <- t.stat_delivered + 1;
+            t.handler
+              (Deliver
+                 {
+                   ring = msg.ring;
+                   seq = msg.seq;
+                   sender = msg.sender;
+                   payload = msg.payload;
+                 });
+            go ()
+      in
+      go ()
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Gather / consensus                                                  *)
+
+let make_join t (g : gather_state) : Wire.join =
+  {
+    j_sender = t.me;
+    proc_set = g.proc_set;
+    fail_set = g.fail_set;
+    j_old = my_old_ring_info t;
+    max_gen = t.max_gen;
+  }
+
+let send_join t g =
+  let j = make_join t g in
+  Hashtbl.replace g.joins t.me j;
+  bcast t (Wire.Join j)
+
+let rec enter_gather t ~candidates ~prefail =
+  t.epoch <- t.epoch + 1;
+  let was_operational = is_operational t in
+  let g =
+    {
+      proc_set = Set.add t.me (Set.union candidates (Set.of_list t.members));
+      fail_set = Set.remove t.me prefail;
+      joins = Hashtbl.create 8;
+      round = 0;
+    }
+  in
+  t.state <- Gather g;
+  if was_operational then t.handler Blocked;
+  Log.debug (fun m ->
+      m "%a: enter gather (candidates=%d)" Nid.pp t.me
+        (Set.cardinal g.proc_set));
+  send_join t g;
+  join_tick t g;
+  arm_consensus_deadline t g;
+  maybe_consensus t g
+
+and join_tick t g =
+  after t t.cfg.join_retransmit (fun () ->
+      match t.state with
+      | Gather g' | Wait_commit g' ->
+          if g' == g then begin
+            send_join t g;
+            join_tick t g
+          end
+      | _ -> ())
+
+and arm_consensus_deadline t g =
+  after t t.cfg.consensus_timeout (fun () ->
+      match t.state with
+      | Gather g' when g' == g ->
+          let live = Set.diff g.proc_set g.fail_set in
+          let silent = Set.filter (fun p -> not (Hashtbl.mem g.joins p)) live in
+          if not (Set.is_empty silent) then begin
+            Log.debug (fun m ->
+                m "%a: consensus timeout, failing %d silent candidates" Nid.pp
+                  t.me (Set.cardinal silent));
+            g.fail_set <- Set.union g.fail_set (Set.remove t.me silent);
+            send_join t g;
+            maybe_consensus t g
+          end;
+          arm_consensus_deadline t g
+      | _ -> ())
+
+and maybe_consensus t g =
+  let live = Set.diff g.proc_set g.fail_set in
+  let agree p =
+    match Hashtbl.find_opt g.joins p with
+    | Some (j : Wire.join) ->
+        Set.equal j.proc_set g.proc_set && Set.equal j.fail_set g.fail_set
+    | None -> false
+  in
+  if Set.mem t.me live && Set.for_all agree live then
+    if Nid.equal (Set.min_elt live) t.me then begin
+      (* This node is the representative: form and announce the new ring. *)
+      let gens =
+        Set.fold
+          (fun p acc ->
+            match Hashtbl.find_opt g.joins p with
+            | Some j -> max acc j.max_gen
+            | None -> acc)
+          live t.max_gen
+      in
+      let new_ring = Ring_id.make ~rep:t.me ~gen:(gens + 1) in
+      let members_sorted = List.sort Nid.compare (Set.elements live) in
+      let member_old =
+        List.map (fun p -> (p, (Hashtbl.find g.joins p).Wire.j_old)) members_sorted
+      in
+      let recover =
+        let per_ring = Hashtbl.create 4 in
+        List.iter
+          (fun ((_, (info : Wire.old_ring_info)) : Nid.t * Wire.old_ring_info) ->
+            match info.old_ring with
+            | None -> ()
+            | Some r ->
+                let lo, hi =
+                  Option.value ~default:(max_int, 0)
+                    (Hashtbl.find_opt per_ring r)
+                in
+                Hashtbl.replace per_ring r
+                  (min lo (info.old_aru + 1), max hi info.high_seq))
+          member_old;
+        Hashtbl.fold
+          (fun r (lo, hi) acc ->
+            if hi >= lo then (r, (lo, hi)) :: acc else acc)
+          per_ring []
+        |> List.sort (fun (a, _) (b, _) -> Ring_id.compare a b)
+      in
+      let c : Wire.commit =
+        { new_ring; members = members_sorted; member_old; recover }
+      in
+      Log.debug (fun m ->
+          m "%a: committing %a (%d members)" Nid.pp t.me Ring_id.pp new_ring
+            (List.length members_sorted));
+      bcast t (Wire.Commit c);
+      install_ring t c
+    end
+    else begin
+      g.round <- g.round + 1;
+      let round = g.round in
+      t.state <- Wait_commit g;
+      after t t.cfg.commit_timeout (fun () ->
+          match t.state with
+          | Wait_commit g' when g' == g && g.round = round ->
+              let live = Set.diff g.proc_set g.fail_set in
+              let leader = Set.min_elt live in
+              Log.debug (fun m ->
+                  m "%a: commit timeout, failing leader %a" Nid.pp t.me Nid.pp
+                    leader);
+              enter_gather t ~candidates:live ~prefail:(Set.singleton leader)
+          | _ -> ())
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+and my_recovery_rings t (c : Wire.commit) =
+  (* The old rings whose leftover messages this node must recover: those it
+     was a member of (exactly one in practice). *)
+  match List.assoc_opt t.me c.member_old with
+  | Some { old_ring = Some r; _ } ->
+      List.filter (fun (r', _) -> Ring_id.equal r r') c.recover
+  | Some { old_ring = None; _ } | None -> []
+
+and ring_members_of (c : Wire.commit) r =
+  List.filter_map
+    (fun ((p, (info : Wire.old_ring_info)) : Nid.t * Wire.old_ring_info) ->
+      match info.old_ring with
+      | Some r' when Ring_id.equal r r' -> Some p
+      | _ -> None)
+    c.member_old
+
+and send_offers t (rs : recovery_state) =
+  let c = rs.commit in
+  let mine =
+    List.map
+      (fun (r, (lo, hi)) ->
+        let s = store_for t r in
+        (r, Store.held_in s ~lo ~hi))
+      (my_recovery_rings t c)
+  in
+  Hashtbl.replace rs.offers t.me mine;
+  List.iter
+    (fun (r, held) ->
+      bcast t
+        (Wire.Recovery_offer
+           { o_sender = t.me; new_ring = c.new_ring; o_ring = r; held }))
+    mine
+
+and union_held (rs : recovery_state) r =
+  Hashtbl.fold
+    (fun _ offer acc ->
+      match List.assoc_opt r offer with
+      | Some held -> List.fold_left (fun a s -> IntSet.add s a) acc held
+      | None -> acc)
+    rs.offers IntSet.empty
+
+and request_missing t (rs : recovery_state) =
+  let c = rs.commit in
+  List.iter
+    (fun (r, (lo, hi)) ->
+      let s = store_for t r in
+      let u = union_held rs r in
+      let wanted =
+        IntSet.elements
+          (IntSet.filter
+             (fun seq -> seq >= lo && seq <= hi && not (Store.has s seq))
+             u)
+      in
+      if wanted <> [] then
+        bcast t
+          (Wire.Recovery_request
+             { r_sender = t.me; new_ring = c.new_ring; r_ring = r; wanted }))
+    (my_recovery_rings t c)
+
+and check_my_done t (rs : recovery_state) =
+  let c = rs.commit in
+  let ready =
+    List.for_all
+      (fun (r, (lo, hi)) ->
+        let peers = ring_members_of c r in
+        let have_offer p =
+          match Hashtbl.find_opt rs.offers p with
+          | Some offer -> List.mem_assoc r offer
+          | None -> false
+        in
+        List.for_all have_offer peers
+        &&
+        let s = store_for t r in
+        let u = union_held rs r in
+        IntSet.for_all (fun seq -> seq < lo || seq > hi || Store.has s seq) u)
+      (my_recovery_rings t c)
+  in
+  if ready && not rs.my_done_sent then begin
+    rs.my_done_sent <- true;
+    rs.done_from <- Set.add t.me rs.done_from;
+    bcast t
+      (Wire.Recovery_done { d_sender = t.me; new_ring = c.new_ring; nudge = false })
+  end;
+  maybe_finish_recovery t rs
+
+and maybe_finish_recovery t (rs : recovery_state) =
+  let c = rs.commit in
+  if rs.my_done_sent && Set.subset (Set.of_list c.members) rs.done_from then begin
+    (* Deliver the old ring's leftovers in sequence order, skipping gaps no
+       surviving member can fill, then announce the new view.  Even when
+       there was nothing to exchange (every member already held the same
+       prefix, so the recovery range was empty), messages received since
+       the last token visit are still undelivered and go up now. *)
+    (match List.assoc_opt t.me c.member_old with
+    | Some { old_ring = Some r; _ } ->
+        let s = store_for t r in
+        let hi =
+          match List.assoc_opt r c.recover with
+          | Some (_, hi) -> hi
+          | None -> Store.aru s
+        in
+        for seq = Store.delivered s + 1 to hi do
+          (match Store.find s seq with
+          | Some (msg : 'a Wire.regular) ->
+              t.stat_delivered <- t.stat_delivered + 1;
+              t.handler
+                (Deliver
+                   {
+                     ring = msg.ring;
+                     seq = msg.seq;
+                     sender = msg.sender;
+                     payload = msg.payload;
+                   })
+          | None -> ());
+          Store.set_delivered s seq
+        done
+    | Some { old_ring = None; _ } | None -> ());
+    t.epoch <- t.epoch + 1;
+    t.ring <- Some c.new_ring;
+    t.members <- c.members;
+    t.state <- Operational;
+    t.stat_views <- t.stat_views + 1;
+    (* Only the new ring's store remains relevant. *)
+    t.stores <-
+      Ring_id.Map.filter (fun r _ -> Ring_id.equal r c.new_ring) t.stores;
+    t.handler (View { ring = c.new_ring; members = c.members });
+    Log.debug (fun m ->
+        m "%a: operational on %a" Nid.pp t.me Ring_id.pp c.new_ring);
+    arm_token_loss t;
+    if Nid.equal c.new_ring.rep t.me then presence_tick t;
+    (* The representative launches the token; a token that arrived while we
+       were still recovering is processed now. *)
+    match rs.stashed_token with
+    | Some tok -> accept_token t tok
+    | None ->
+        if Nid.equal c.new_ring.rep t.me then
+          accept_token t
+            {
+              Wire.ring = c.new_ring;
+              token_seq = 1;
+              seq = 0;
+              aru = 0;
+              aru_id = None;
+              rtr = [];
+              fcc = 0;
+            }
+  end
+
+and install_ring t (c : Wire.commit) =
+  t.epoch <- t.epoch + 1;
+  t.max_gen <- max t.max_gen c.new_ring.gen;
+  t.last_token_seq <- 0;
+  t.prev_visit_aru <- 0;
+  t.last_visit_count <- 0;
+  ignore (store_for t c.new_ring : 'a Store.t);
+  let rs =
+    {
+      commit = c;
+      offers = Hashtbl.create 8;
+      done_from = Set.empty;
+      my_done_sent = false;
+      stashed_token = None;
+    }
+  in
+  t.state <- Recover rs;
+  send_offers t rs;
+  recovery_tick t rs;
+  after t t.cfg.recovery_timeout (fun () ->
+      match t.state with
+      | Recover rs' when rs' == rs ->
+          Log.debug (fun m -> m "%a: recovery timeout" Nid.pp t.me);
+          enter_gather t ~candidates:(Set.of_list c.members) ~prefail:Set.empty
+      | _ -> ());
+  check_my_done t rs
+
+and recovery_tick t rs =
+  after t t.cfg.recovery_retry (fun () ->
+      match t.state with
+      | Recover rs' when rs' == rs ->
+          send_offers t rs;
+          request_missing t rs;
+          if rs.my_done_sent then
+            bcast t
+              (Wire.Recovery_done
+                 { d_sender = t.me; new_ring = rs.commit.new_ring; nudge = false });
+          (* The representative re-announces the commit for members that
+             missed it. *)
+          if Nid.equal rs.commit.new_ring.rep t.me then
+            bcast t (Wire.Commit rs.commit);
+          recovery_tick t rs
+      | _ -> ())
+
+and presence_tick t =
+  after t t.cfg.presence_interval (fun () ->
+      match (t.state, t.ring) with
+      | Operational, Some r when Nid.equal r.rep t.me ->
+          bcast t (Wire.Presence { p_sender = t.me; p_ring = r });
+          presence_tick t
+      | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Token handling                                                      *)
+
+and arm_token_loss t =
+  after_token t t.cfg.token_loss_timeout (fun () ->
+      match t.state with
+      | Operational ->
+          Log.debug (fun m -> m "%a: token loss" Nid.pp t.me);
+          enter_gather t ~candidates:(Set.of_list t.members) ~prefail:Set.empty
+      | _ -> ())
+
+and successor t =
+  let rec find = function
+    | [] -> List.hd t.members
+    | p :: rest -> if Nid.compare p t.me > 0 then p else find rest
+  in
+  find t.members
+
+and accept_token t (tok : Wire.token) =
+  t.token_era <- t.token_era + 1;
+  t.last_token_seq <- tok.token_seq;
+  t.stat_tokens <- t.stat_tokens + 1;
+  (match t.token_probe with Some f -> f tok | None -> ());
+  let s =
+    match t.ring with Some r -> store_for t r | None -> assert false
+  in
+  let prev_aru = t.prev_visit_aru in
+  (* 0. Deliver the in-order prefix received since the last visit.  Doing
+     this first (and broadcasting later in the same visit) means a message
+     enqueued in reaction to a delivery goes out one rotation later, as in
+     the paper's testbed ("one additional token circulation").  Safe
+     delivery additionally withholds messages until the token has shown
+     them received by every member (two-rotation stability). *)
+  (match t.cfg.delivery with
+  | Config.Agreed -> drain_deliveries t
+  | Config.Safe -> drain_deliveries ~upto:(min prev_aru tok.aru) t);
+  (* 1. Retransmit requested messages that we hold. *)
+  let satisfied, still_missing =
+    List.partition (fun seq -> Store.find s seq <> None) tok.rtr
+  in
+  List.iter
+    (fun seq ->
+      match Store.find s seq with
+      | Some msg ->
+          t.stat_retrans <- t.stat_retrans + 1;
+          bcast t (Wire.Regular msg)
+      | None -> ())
+    satisfied;
+  (* 2. Add our own gaps to the retransmission list. *)
+  let my_missing = Store.missing_up_to s tok.seq in
+  let rtr =
+    List.sort_uniq Int.compare (List.rev_append my_missing still_missing)
+  in
+  tok.rtr <- rtr;
+  (* 3. Broadcast pending messages under flow control. *)
+  let budget = min t.cfg.max_msgs_per_visit (max 0 (t.cfg.window - tok.fcc)) in
+  let sent = ref 0 in
+  while !sent < budget && not (Queue.is_empty t.pending) do
+    let payload, unless = Queue.pop t.pending in
+    let cancelled = match unless with Some p -> p () | None -> false in
+    if not cancelled then begin
+      tok.seq <- tok.seq + 1;
+      let msg : 'a Wire.regular =
+        { ring = tok.ring; seq = tok.seq; sender = t.me; payload }
+      in
+      ignore (Store.add s msg : bool);
+      t.stat_sent <- t.stat_sent + 1;
+      bcast t (Wire.Regular msg);
+      incr sent
+    end
+  done;
+  tok.fcc <- max 0 (tok.fcc + !sent - t.last_visit_count);
+  t.last_visit_count <- !sent;
+  (* 4. Update the all-received-up-to field (Totem's rule: the owner of the
+     lowered aru — or anybody, when it is unowned — raises it to its local
+     aru; everyone else may only lower it). *)
+  let my_aru = Store.aru s in
+  (match tok.aru_id with
+  | Some id when Nid.equal id t.me ->
+      tok.aru <- my_aru;
+      tok.aru_id <- (if my_aru < tok.seq then Some t.me else None)
+  | None ->
+      tok.aru <- my_aru;
+      if my_aru < tok.seq then tok.aru_id <- Some t.me
+  | Some _ ->
+      if my_aru < tok.aru then begin
+        tok.aru <- my_aru;
+        tok.aru_id <- Some t.me
+      end);
+  (* 5. Garbage-collect messages that have been stable for a rotation. *)
+  let stable = min t.prev_visit_aru tok.aru in
+  let deliverable = Store.delivered s in
+  if stable > 0 && stable <= deliverable then Store.gc s ~upto:stable;
+  t.prev_visit_aru <- tok.aru;
+  (* 6. Deliver anything that became in-order during this visit (own
+     broadcasts and retransmissions we just stored). *)
+  (match t.cfg.delivery with
+  | Config.Agreed -> drain_deliveries t
+  | Config.Safe -> drain_deliveries ~upto:(min prev_aru tok.aru) t);
+  (* 7. Forward after the processing hold time. *)
+  let work = !sent + List.length satisfied in
+  let hold =
+    Dsim.Time.Span.add t.cfg.token_hold
+      (Dsim.Time.Span.scale (float_of_int work) t.cfg.per_msg_cost)
+  in
+  tok.token_seq <- tok.token_seq + 1;
+  let out = Wire.copy_token tok in
+  let dst = successor t in
+  let era = t.token_era in
+  after t hold (fun () ->
+      if t.token_era = era && is_operational t then begin
+        unicast t ~dst (Wire.Token (Wire.copy_token out));
+        arm_token_retransmit t ~dst out
+      end);
+  arm_token_loss t
+
+and arm_token_retransmit t ~dst out =
+  after_token t t.cfg.token_retransmit (fun () ->
+      if is_operational t then begin
+        Log.debug (fun m -> m "%a: retransmitting token" Nid.pp t.me);
+        unicast t ~dst (Wire.Token (Wire.copy_token out));
+        arm_token_retransmit t ~dst out
+      end)
+
+and handle_incoming_token t (tok : Wire.token) =
+  match t.state with
+  | Operational -> (
+      match t.ring with
+      | Some r when Ring_id.equal r tok.ring ->
+          if tok.token_seq > t.last_token_seq then accept_token t tok
+      | _ -> ())
+  | Recover rs ->
+      if
+        Ring_id.equal rs.commit.new_ring tok.ring
+        && tok.token_seq > t.last_token_seq
+      then rs.stashed_token <- Some tok
+  | Idle | Gather _ | Wait_commit _ | Crashed -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Message dispatch                                                    *)
+
+and on_regular t (msg : 'a Wire.regular) =
+  let relevant =
+    match t.ring with
+    | Some r when Ring_id.equal r msg.ring -> true
+    | _ -> known_store t msg.ring <> None
+  in
+  (* Foreign traffic from a node outside our ring means a healed partition:
+     start a merge. *)
+  (if (not relevant) && is_operational t then
+     let foreign = not (List.exists (Nid.equal msg.sender) t.members) in
+     if foreign then
+       enter_gather t ~candidates:(Set.singleton msg.sender) ~prefail:Set.empty);
+  if relevant then begin
+    let s = store_for t msg.ring in
+    let fresh = Store.add s msg in
+    (* Delivery is token-driven (messages are handed up at token visits,
+       as in Totem): receiving a regular message only stores it. *)
+    if fresh then
+      match t.state with
+      | Recover rs -> check_my_done t rs
+      | _ -> ()
+  end
+
+and on_join t (j : Wire.join) =
+  t.max_gen <- max t.max_gen j.max_gen;
+  match t.state with
+  | Crashed | Idle -> ()
+  | Gather g | Wait_commit g ->
+      Hashtbl.replace g.joins j.j_sender j;
+      let proc' = Set.union g.proc_set j.proc_set in
+      let fail' = Set.union g.fail_set (Set.remove t.me j.fail_set) in
+      if (not (Set.equal proc' g.proc_set)) || not (Set.equal fail' g.fail_set)
+      then begin
+        g.proc_set <- proc';
+        g.fail_set <- fail';
+        (match t.state with
+        | Wait_commit _ -> t.state <- Gather g
+        | _ -> ());
+        send_join t g
+      end;
+      maybe_consensus t g
+  | Recover _ ->
+      (* Finish the recovery in progress first; the joiner keeps
+         re-announcing itself and is handled once we are operational. *)
+      ()
+  | Operational ->
+      (* Ignore stale joins left over from the gather that formed the
+         current ring; react to anything genuinely new. *)
+      let my_gen = match t.ring with Some r -> r.gen | None -> 0 in
+      let is_member = List.exists (Nid.equal j.j_sender) t.members in
+      if (not is_member) || j.max_gen >= my_gen then
+        enter_gather t
+          ~candidates:(Set.add j.j_sender j.proc_set)
+          ~prefail:Set.empty
+
+and on_commit t (c : Wire.commit) =
+  if List.exists (Nid.equal t.me) c.members then
+    match t.state with
+    | Crashed | Idle -> ()
+    | Recover rs when Ring_id.equal rs.commit.new_ring c.new_ring ->
+        () (* duplicate of the commit we are already recovering for *)
+    | Operational when Ring_id.equal (Option.get t.ring) c.new_ring -> ()
+    | Gather _ | Wait_commit _ | Recover _ | Operational ->
+        let my_gen = match t.ring with Some r -> r.gen | None -> 0 in
+        if c.new_ring.gen > my_gen then install_ring t c
+
+and on_offer t ~o_sender ~new_ring ~o_ring ~held =
+  match t.state with
+  | Recover rs when Ring_id.equal rs.commit.new_ring new_ring ->
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt rs.offers o_sender)
+      in
+      let prev = List.remove_assoc o_ring prev in
+      Hashtbl.replace rs.offers o_sender ((o_ring, held) :: prev);
+      check_my_done t rs
+  | Operational -> resend_recovery_help t ~new_ring
+  | _ -> ()
+
+and on_request t ~new_ring ~r_ring ~wanted =
+  (* Serve requests whenever we hold the messages, even if our own recovery
+     has already completed. *)
+  let serve () =
+    match known_store t r_ring with
+    | None -> ()
+    | Some s ->
+        List.iter
+          (fun seq ->
+            match Store.find s seq with
+            | Some msg ->
+                t.stat_retrans <- t.stat_retrans + 1;
+                bcast t (Wire.Regular msg)
+            | None -> ())
+          wanted
+  in
+  match t.state with
+  | Recover rs when Ring_id.equal rs.commit.new_ring new_ring -> serve ()
+  | Operational ->
+      serve ();
+      resend_recovery_help t ~new_ring
+  | _ -> ()
+
+and resend_recovery_help t ~new_ring =
+  (* A straggler is still recovering on our ring: it may have missed our
+     Recovery_done (we completed first).  Re-announce it as a nudge, which
+     operational nodes ignore, so two operational nodes cannot echo dones
+     at each other forever. *)
+  match t.ring with
+  | Some r when Ring_id.equal r new_ring ->
+      bcast t (Wire.Recovery_done { d_sender = t.me; new_ring; nudge = true })
+  | _ -> ()
+
+and on_done t ~d_sender ~new_ring ~nudge =
+  match t.state with
+  | Recover rs when Ring_id.equal rs.commit.new_ring new_ring ->
+      rs.done_from <- Set.add d_sender rs.done_from;
+      maybe_finish_recovery t rs
+  | Operational ->
+      (* A genuine (non-nudge) done means its sender is still recovering on
+         our ring and may have missed our own done; re-announce it. *)
+      if (not nudge) && not (Nid.equal d_sender t.me) then
+        resend_recovery_help t ~new_ring
+  | _ -> ()
+
+and on_presence t ~p_sender ~p_ring =
+  match (t.state, t.ring) with
+  | Operational, Some r when not (Ring_id.equal r p_ring) ->
+      Log.debug (fun m ->
+          m "%a: foreign presence from %a, merging" Nid.pp t.me Nid.pp p_sender);
+      enter_gather t ~candidates:(Set.singleton p_sender) ~prefail:Set.empty
+  | _ -> ()
+
+let dispatch t ~src:_ (msg : 'a Wire.t) =
+  if not (crashed t) then
+    match msg with
+    | Wire.Regular r -> on_regular t r
+    | Wire.Token tok -> handle_incoming_token t tok
+    | Wire.Join j -> on_join t j
+    | Wire.Commit c -> on_commit t c
+    | Wire.Recovery_offer { o_sender; new_ring; o_ring; held } ->
+        on_offer t ~o_sender ~new_ring ~o_ring ~held
+    | Wire.Recovery_request { r_sender = _; new_ring; r_ring; wanted } ->
+        on_request t ~new_ring ~r_ring ~wanted
+    | Wire.Recovery_done { d_sender; new_ring; nudge } ->
+        on_done t ~d_sender ~new_ring ~nudge
+    | Wire.Presence { p_sender; p_ring } -> on_presence t ~p_sender ~p_ring
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let create eng net ~me ?(config = Config.default) ~handler () =
+  let t =
+    {
+      eng;
+      net;
+      me;
+      cfg = config;
+      handler;
+      state = Idle;
+      ring = None;
+      members = [];
+      stores = Ring_id.Map.empty;
+      pending = Queue.create ();
+      max_gen = 0;
+      epoch = 0;
+      token_era = 0;
+      last_token_seq = 0;
+      prev_visit_aru = 0;
+      last_visit_count = 0;
+      stat_tokens = 0;
+      stat_sent = 0;
+      stat_retrans = 0;
+      stat_views = 0;
+      stat_delivered = 0;
+      token_probe = None;
+    }
+  in
+  Netsim.Network.attach net me (fun ~src msg -> dispatch t ~src msg);
+  t
+
+let start t =
+  match t.state with
+  | Idle -> enter_gather t ~candidates:Set.empty ~prefail:Set.empty
+  | _ -> invalid_arg "Totem.Node.start: already started"
+
+let multicast ?unless t payload =
+  if crashed t then invalid_arg "Totem.Node.multicast: node crashed";
+  Queue.push (payload, unless) t.pending
+
+let crash t =
+  if not (crashed t) then begin
+    t.epoch <- t.epoch + 1;
+    t.state <- Crashed;
+    Netsim.Network.detach t.net t.me
+  end

@@ -1,0 +1,19 @@
+type t = { rep : Netsim.Node_id.t; gen : int }
+
+let make ~rep ~gen = { rep; gen }
+
+let compare a b =
+  match Int.compare a.gen b.gen with
+  | 0 -> Netsim.Node_id.compare a.rep b.rep
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Format.fprintf ppf "ring(%a,g%d)" Netsim.Node_id.pp t.rep t.gen
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,15 @@
+(** Ring identifiers.
+
+    A Totem ring is identified by its representative (the lowest-id member,
+    which also launches the token) and a generation number that increases
+    across membership changes, so every ring ever formed has a distinct
+    identity. *)
+
+type t = { rep : Netsim.Node_id.t; gen : int }
+
+val make : rep:Netsim.Node_id.t -> gen:int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t

@@ -1,0 +1,57 @@
+type 'a t = {
+  tbl : (int, 'a Wire.regular) Hashtbl.t;
+  mutable aru : int;
+  mutable delivered : int;
+  mutable high : int;
+  mutable floor : int; (* GCed up to here *)
+}
+
+let create () = { tbl = Hashtbl.create 64; aru = 0; delivered = 0; high = 0; floor = 0 }
+
+let has t seq = seq <= t.floor || Hashtbl.mem t.tbl seq
+
+let add t (msg : 'a Wire.regular) =
+  if has t msg.seq then false
+  else begin
+    Hashtbl.replace t.tbl msg.seq msg;
+    if msg.seq > t.high then t.high <- msg.seq;
+    while Hashtbl.mem t.tbl (t.aru + 1) || t.aru + 1 <= t.floor do
+      t.aru <- t.aru + 1
+    done;
+    true
+  end
+
+let find t seq = Hashtbl.find_opt t.tbl seq
+let aru t = t.aru
+let delivered t = t.delivered
+
+let set_delivered t seq =
+  if seq < t.delivered then invalid_arg "Store.set_delivered: going backwards";
+  t.delivered <- seq
+
+let next_to_deliver t = find t (t.delivered + 1)
+
+let missing_up_to t hi =
+  let rec collect s acc =
+    if s > hi then List.rev acc
+    else collect (s + 1) (if has t s then acc else s :: acc)
+  in
+  collect (t.aru + 1) []
+
+let held_in t ~lo ~hi =
+  let rec collect s acc =
+    if s > hi then List.rev acc
+    else collect (s + 1) (if Hashtbl.mem t.tbl s then s :: acc else acc)
+  in
+  collect (max lo 1) []
+
+let high_seq t = t.high
+
+let gc t ~upto =
+  if upto > t.floor then begin
+    for s = t.floor + 1 to upto do
+      Hashtbl.remove t.tbl s
+    done;
+    t.floor <- upto;
+    if t.aru < upto then t.aru <- upto
+  end

@@ -1,0 +1,42 @@
+(** Per-ring message store.
+
+    Keeps the regular messages a node has received (or itself broadcast) on
+    one ring, tracks the contiguously-received prefix ([aru]) and the
+    delivered prefix, and answers the retransmission and recovery queries
+    the protocol needs. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> 'a Wire.regular -> bool
+(** [add t msg] stores the message; [false] if seq was already present
+    (duplicate).  Messages below the GC floor are also reported as
+    duplicates. *)
+
+val has : 'a t -> int -> bool
+val find : 'a t -> int -> 'a Wire.regular option
+
+val aru : 'a t -> int
+(** Largest [s] such that every message with seq in [1..s] has been
+    received (0 when nothing contiguous). *)
+
+val delivered : 'a t -> int
+(** Highest sequence number delivered to the upper layer. *)
+
+val set_delivered : 'a t -> int -> unit
+
+val next_to_deliver : 'a t -> 'a Wire.regular option
+(** The message with seq [delivered + 1], if present. *)
+
+val missing_up_to : 'a t -> int -> int list
+(** Sequence numbers in [aru+1 .. hi] not present, ascending. *)
+
+val held_in : 'a t -> lo:int -> hi:int -> int list
+(** Sequence numbers present in [lo..hi], ascending. *)
+
+val high_seq : 'a t -> int
+(** Highest sequence number present (0 when empty). *)
+
+val gc : 'a t -> upto:int -> unit
+(** Drop messages with seq <= [upto]; they are known stable everywhere. *)

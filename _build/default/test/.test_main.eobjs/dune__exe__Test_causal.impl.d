@@ -1,0 +1,1 @@
+test/test_causal.ml: Alcotest Array Clock Dsim Gcs List Netsim Repl Rpc Scenario

@@ -1,0 +1,1 @@
+test/test_clock.ml: Alcotest Clock Dsim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cts.ml: Alcotest Array Clock Cts Dsim Fun Gcs Hashtbl Int64 List Netsim Option Printf QCheck QCheck_alcotest Scenario

@@ -1,0 +1,1 @@
+test/test_dsim.ml: Alcotest Array Dsim Format Fun Gen List Option QCheck QCheck_alcotest

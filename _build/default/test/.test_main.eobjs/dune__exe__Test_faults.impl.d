@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Clock Dsim Fun Gcs List Netsim Repl Rpc Scenario

@@ -1,0 +1,1 @@
+test/test_gcs.ml: Alcotest Array Dsim Gcs List Netsim Printf Totem

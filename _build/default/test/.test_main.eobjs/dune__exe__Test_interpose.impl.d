@@ -1,0 +1,1 @@
+test/test_interpose.ml: Alcotest Array Clock Cts Dsim Gcs List Netsim Repl Rpc Scenario

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Dsim List Netsim QCheck QCheck_alcotest Stats

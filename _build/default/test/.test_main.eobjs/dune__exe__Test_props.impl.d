@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Clock Cts Dsim Fun Gcs Gen Int64 List Netsim QCheck QCheck_alcotest Repl Rpc Scenario Totem

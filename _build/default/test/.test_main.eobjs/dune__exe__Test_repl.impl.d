@@ -1,0 +1,1 @@
+test/test_repl.ml: Alcotest Array Clock Cts Dsim Fun Gcs Int64 List Netsim Printf QCheck QCheck_alcotest Repl Rpc Scenario String

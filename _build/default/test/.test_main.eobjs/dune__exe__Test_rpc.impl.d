@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Array Dsim Fun Gcs List Netsim Repl Rpc Scenario

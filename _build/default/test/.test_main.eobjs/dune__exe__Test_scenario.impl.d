@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Array Dsim Float List Printf Repl Scenario Stats

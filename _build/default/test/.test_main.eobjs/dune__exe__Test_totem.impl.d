@@ -1,0 +1,1 @@
+test/test_totem.ml: Alcotest Array Dsim Int64 List Netsim Option Printf QCheck QCheck_alcotest Totem

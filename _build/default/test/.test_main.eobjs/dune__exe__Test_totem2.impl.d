@@ -1,0 +1,1 @@
+test/test_totem2.ml: Alcotest Array Dsim Format Gen Int64 List Netsim Option Printf QCheck QCheck_alcotest String Totem

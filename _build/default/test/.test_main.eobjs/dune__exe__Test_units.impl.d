@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Clock Cts Dsim Gcs Gen List Netsim QCheck QCheck_alcotest Rpc

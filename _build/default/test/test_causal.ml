@@ -1,0 +1,157 @@
+(* Tests for the paper's §5 extension: carrying the group clock as a
+   timestamp in inter-group messages so that causal relations between the
+   group clocks of different groups are maintained. *)
+
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+module Nid = Netsim.Node_id
+module Gid = Gcs.Group_id
+module Cluster = Scenario.Cluster
+module Replica = Repl.Replica
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+(* Two replicated time-server groups on one ring:
+   group A on nodes 1-2 (clocks far AHEAD), group B on nodes 3-4 (clocks at
+   real time).  The client on node 0 reads A's group clock, then reads B's.
+   With the causal-timestamp extension B's reading can never be smaller. *)
+type rig = {
+  cluster : Cluster.t;
+  client_a : Rpc.Client.t;
+  client_b : Rpc.Client.t;
+}
+
+let group_a = Gid.of_int 10
+let group_b = Gid.of_int 11
+let cgroup_a = Gid.of_int 20
+let cgroup_b = Gid.of_int 21
+
+let make ?(seed = 1L) () =
+  let clock_config i =
+    if i = 1 || i = 2 then
+      (* group A's hosts run half a second ahead *)
+      { Clock.Hwclock.default_config with offset = Span.of_ms 500 }
+    else Clock.Hwclock.default_config
+  in
+  let cluster = Cluster.create ~seed ~clock_config ~nodes:5 () in
+  Cluster.start_all cluster;
+  Cluster.run_until cluster (fun () ->
+      Cluster.ring_stable cluster ~on_nodes:[ 0; 1; 2; 3; 4 ]);
+  let mk_replicas group nodes =
+    let config =
+      {
+        Replica.default_config with
+        initial_members = List.map Nid.of_int nodes;
+      }
+    in
+    List.map
+      (fun node ->
+        Replica.create cluster.Cluster.eng
+          ~endpoint:cluster.Cluster.nodes.(node).Cluster.endpoint ~group
+          ~clock:cluster.Cluster.nodes.(node).Cluster.clock ~config
+          ~app:(Scenario.Apps.time_server cluster ~node ())
+          ())
+      nodes
+  in
+  let _ra = mk_replicas group_a [ 1; 2 ] in
+  let _rb = mk_replicas group_b [ 3; 4 ] in
+  let client_a =
+    Rpc.Client.create cluster.Cluster.eng
+      ~endpoint:cluster.Cluster.nodes.(0).Cluster.endpoint ~my_group:cgroup_a
+      ~server_group:group_a ()
+  in
+  let client_b =
+    Rpc.Client.create cluster.Cluster.eng
+      ~endpoint:cluster.Cluster.nodes.(0).Cluster.endpoint ~my_group:cgroup_b
+      ~server_group:group_b ()
+  in
+  Cluster.run_until cluster (fun () ->
+      let members g =
+        List.length
+          (Gcs.Endpoint.members_of cluster.Cluster.nodes.(0).Cluster.endpoint g)
+      in
+      members group_a = 2 && members group_b = 2);
+  { cluster; client_a; client_b }
+
+let run_client rig f =
+  let finished = ref false in
+  Dsim.Fiber.spawn rig.cluster.Cluster.eng (fun () ->
+      f ();
+      finished := true);
+  Cluster.run_until ~limit:(Span.of_sec 60) rig.cluster (fun () -> !finished)
+
+let read client =
+  Time.of_ns
+    (int_of_string (Rpc.Client.invoke client ~op:"gettimeofday" ~arg:""))
+
+let test_without_bridge_clocks_diverge () =
+  (* sanity: the two group clocks genuinely disagree *)
+  let rig = make () in
+  run_client rig (fun () ->
+      let ta = read rig.client_a in
+      let tb = read rig.client_b in
+      check bool "B's group clock is far behind A's" true
+        Span.(Time.diff ta tb > Span.of_ms 400))
+
+let test_bridged_timestamp_preserves_causality () =
+  let rig = make () in
+  run_client rig (fun () ->
+      let ta = read rig.client_a in
+      (* carry A's group clock into the session with B (§5) *)
+      (match Rpc.Client.last_timestamp rig.client_a with
+      | Some ts -> Rpc.Client.observe_timestamp rig.client_b ts
+      | None -> Alcotest.fail "no timestamp from group A");
+      let tb = read rig.client_b in
+      check bool "B's reading causally follows A's" true Time.(tb >= ta);
+      (* and B's clock keeps going from there: a later read is larger *)
+      let tb2 = read rig.client_b in
+      check bool "B stays monotone" true Time.(tb2 >= tb))
+
+let test_floor_propagates_to_all_replicas () =
+  (* After the timestamped request, both B replicas share the floor: a
+     failover does not lose it. *)
+  let rig = make () in
+  run_client rig (fun () ->
+      let ta = read rig.client_a in
+      (match Rpc.Client.last_timestamp rig.client_a with
+      | Some ts -> Rpc.Client.observe_timestamp rig.client_b ts
+      | None -> ());
+      let tb = read rig.client_b in
+      check bool "causal" true Time.(tb >= ta);
+      (* crash B's primary; the promoted replica observed the same
+         timestamp in the same delivery order *)
+      Gcs.Endpoint.crash rig.cluster.Cluster.nodes.(3).Cluster.endpoint;
+      Dsim.Fiber.sleep rig.cluster.Cluster.eng (Span.of_ms 30);
+      let tb2 =
+        Time.of_ns
+          (int_of_string
+             (Rpc.Client.invoke ~timeout:(Span.of_ms 500) rig.client_b
+                ~op:"gettimeofday" ~arg:""))
+      in
+      check bool "floor survives failover" true Time.(tb2 >= tb))
+
+let test_replies_carry_timestamps () =
+  let rig = make () in
+  run_client rig (fun () ->
+      check bool "no timestamp before any reply" true
+        (Rpc.Client.last_timestamp rig.client_a = None);
+      let ta = read rig.client_a in
+      match Rpc.Client.last_timestamp rig.client_a with
+      | Some ts -> check bool "timestamp matches reading" true Time.(ts >= ta)
+      | None -> Alcotest.fail "reply carried no timestamp")
+
+let suites =
+  [
+    ( "cts.causal_groups",
+      [
+        Alcotest.test_case "groups diverge without bridge" `Quick
+          test_without_bridge_clocks_diverge;
+        Alcotest.test_case "bridged timestamp preserves causality" `Quick
+          test_bridged_timestamp_preserves_causality;
+        Alcotest.test_case "floor propagates" `Quick
+          test_floor_propagates_to_all_replicas;
+        Alcotest.test_case "replies carry timestamps" `Quick
+          test_replies_carry_timestamps;
+      ] );
+  ]

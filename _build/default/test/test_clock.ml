@@ -1,0 +1,157 @@
+(* Tests for the physical hardware clock model and the external source. *)
+
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let at eng us f =
+  Dsim.Engine.schedule eng (Span.of_us us) f
+
+let test_perfect_clock_tracks_real_time () =
+  let eng = Dsim.Engine.create () in
+  let c = Clock.Hwclock.create eng Clock.Hwclock.default_config in
+  at eng 1000 (fun () ->
+      check int "reads real time" 1000 (Time.to_us (Clock.Hwclock.read c)));
+  Dsim.Engine.run eng
+
+let test_offset_applied () =
+  let eng = Dsim.Engine.create () in
+  let cfg =
+    { Clock.Hwclock.default_config with offset = Span.of_us 500 }
+  in
+  let c = Clock.Hwclock.create eng cfg in
+  at eng 100 (fun () ->
+      check int "offset" 600 (Time.to_us (Clock.Hwclock.read c)));
+  Dsim.Engine.run eng
+
+let test_drift_accumulates () =
+  let eng = Dsim.Engine.create () in
+  let cfg = { Clock.Hwclock.default_config with drift_ppm = 100. } in
+  let c = Clock.Hwclock.create eng cfg in
+  at eng 1_000_000 (fun () ->
+      (* 100 ppm over 1 s = 100 us fast *)
+      check int "drift" 1_000_100 (Time.to_us (Clock.Hwclock.read c)));
+  Dsim.Engine.run eng
+
+let test_negative_drift () =
+  let eng = Dsim.Engine.create () in
+  let cfg = { Clock.Hwclock.default_config with drift_ppm = -50. } in
+  let c = Clock.Hwclock.create eng cfg in
+  at eng 1_000_000 (fun () ->
+      check int "slow clock" 999_950 (Time.to_us (Clock.Hwclock.read c)));
+  Dsim.Engine.run eng
+
+let test_granularity () =
+  let eng = Dsim.Engine.create () in
+  let cfg =
+    { Clock.Hwclock.default_config with granularity = Span.of_ms 1 }
+  in
+  let c = Clock.Hwclock.create eng cfg in
+  at eng 1234 (fun () ->
+      check int "1 ms granularity truncates" 1000
+        (Time.to_us (Clock.Hwclock.read c)));
+  Dsim.Engine.run eng
+
+let test_monotone_under_jitter () =
+  let eng = Dsim.Engine.create () in
+  let cfg = { Clock.Hwclock.default_config with jitter = Span.of_us 50 } in
+  let c = Clock.Hwclock.create eng cfg in
+  let prev = ref Time.epoch in
+  for i = 1 to 200 do
+    at eng (i * 10) (fun () ->
+        let v = Clock.Hwclock.read c in
+        check bool "monotone" true Time.(v >= !prev);
+        prev := v)
+  done;
+  Dsim.Engine.run eng
+
+let test_fail_stop () =
+  let eng = Dsim.Engine.create () in
+  let c = Clock.Hwclock.create eng Clock.Hwclock.default_config in
+  at eng 10 (fun () -> Clock.Hwclock.fail c);
+  at eng 20 (fun () ->
+      check bool "failed" true (Clock.Hwclock.failed c);
+      Alcotest.check_raises "read raises" Clock.Hwclock.Failed (fun () ->
+          ignore (Clock.Hwclock.read c)));
+  Dsim.Engine.run eng
+
+let test_step_offset_backwards_visible () =
+  let eng = Dsim.Engine.create () in
+  let c = Clock.Hwclock.create eng Clock.Hwclock.default_config in
+  let first = ref Time.epoch in
+  at eng 1000 (fun () -> first := Clock.Hwclock.read c);
+  at eng 1001 (fun () -> Clock.Hwclock.step_offset c (Span.of_ms (-1)));
+  at eng 1002 (fun () ->
+      let v = Clock.Hwclock.read c in
+      check bool "stepped back" true Time.(v < !first));
+  Dsim.Engine.run eng
+
+let test_external_source_bounded_skew () =
+  let eng = Dsim.Engine.create () in
+  let src =
+    Clock.External_source.create eng ~max_skew:(Span.of_us 100)
+  in
+  at eng 5000 (fun () ->
+      for _ = 1 to 100 do
+        let v = Clock.External_source.query src in
+        let err = Span.abs (Time.diff v (Dsim.Engine.now eng)) in
+        check bool "skew bounded" true Span.(err <= Span.of_us 100)
+      done);
+  Dsim.Engine.run eng
+
+let test_external_source_zero_skew () =
+  let eng = Dsim.Engine.create () in
+  let src = Clock.External_source.create eng ~max_skew:Span.zero in
+  at eng 777 (fun () ->
+      check int "exact" 777
+        (Time.to_us (Clock.External_source.query src)));
+  Dsim.Engine.run eng
+
+let prop_drift_proportional =
+  QCheck.Test.make ~count:50 ~name:"drift error proportional to elapsed time"
+    QCheck.(pair (int_range 1 500) (int_range 1 1000))
+    (fun (ppm, ms) ->
+      let eng = Dsim.Engine.create () in
+      let cfg =
+        {
+          Clock.Hwclock.default_config with
+          drift_ppm = float_of_int ppm;
+          granularity = Span.of_ns 1;
+        }
+      in
+      let c = Clock.Hwclock.create eng cfg in
+      let ok = ref true in
+      Dsim.Engine.schedule eng (Span.of_ms ms) (fun () ->
+          let v = Clock.Hwclock.read c in
+          let err = Span.to_ns (Time.diff v (Dsim.Engine.now eng)) in
+          let expect = ms * ppm in
+          ok := abs (err - expect) <= 1);
+      Dsim.Engine.run eng;
+      !ok)
+
+let suites =
+  [
+    ( "clock.hwclock",
+      [
+        Alcotest.test_case "perfect" `Quick test_perfect_clock_tracks_real_time;
+        Alcotest.test_case "offset" `Quick test_offset_applied;
+        Alcotest.test_case "drift" `Quick test_drift_accumulates;
+        Alcotest.test_case "negative drift" `Quick test_negative_drift;
+        Alcotest.test_case "granularity" `Quick test_granularity;
+        Alcotest.test_case "monotone under jitter" `Quick
+          test_monotone_under_jitter;
+        Alcotest.test_case "fail stop" `Quick test_fail_stop;
+        Alcotest.test_case "backwards step" `Quick
+          test_step_offset_backwards_visible;
+        QCheck_alcotest.to_alcotest prop_drift_proportional;
+      ] );
+    ( "clock.external",
+      [
+        Alcotest.test_case "bounded skew" `Quick
+          test_external_source_bounded_skew;
+        Alcotest.test_case "zero skew" `Quick test_external_source_zero_skew;
+      ] );
+  ]

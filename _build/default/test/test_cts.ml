@@ -1,0 +1,494 @@
+(* Tests for the consistent time service: the CCS algorithm of Figures 2-3,
+   the worked example of Figure 4, replication modes, duplicate suppression,
+   drift compensation, and the baseline's roll-back behaviour. *)
+
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+module Service = Cts.Service
+module Cluster = Scenario.Cluster
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let thread1 = Cts.Thread_id.of_int 1
+
+type harness = {
+  cluster : Cluster.t;
+  services : Service.t array;
+}
+
+(* n nodes, each hosting one CTS service joined to one group (no client,
+   no replication layer: these tests drive the algorithm directly). *)
+let make ?(n = 3) ?(seed = 1L) ?clock_config ?(latency_us = 10)
+    ?(config = fun _ -> Service.default_config) () =
+  let cluster =
+    Cluster.create ~seed ?clock_config
+      ~latency:(Netsim.Latency.Constant (Span.of_us latency_us))
+      ~nodes:n ()
+  in
+  Cluster.start_all cluster;
+  Cluster.run_until cluster (fun () ->
+      Cluster.ring_stable cluster ~on_nodes:(List.init n Fun.id));
+  let group = cluster.Cluster.server_group in
+  let services =
+    Array.mapi
+      (fun i (node : Cluster.node) ->
+        let service =
+          Service.create cluster.Cluster.eng ~endpoint:node.Cluster.endpoint
+            ~group ~clock:node.Cluster.clock ~config:(config i) ()
+        in
+        Gcs.Endpoint.join_group node.Cluster.endpoint group
+          ~handler:(fun ev ->
+            match ev with
+            | Gcs.Endpoint.Deliver { msg; _ } -> Service.on_message service msg
+            | Gcs.Endpoint.View_change v -> Service.on_view service v
+            | Gcs.Endpoint.Block | Gcs.Endpoint.Evicted -> ());
+        (* group rank follows node order deterministically *)
+        Cluster.run_for cluster (Span.of_ms 2);
+        service)
+      cluster.Cluster.nodes
+  in
+  Cluster.run_until cluster (fun () ->
+      Array.for_all
+        (fun (node : Cluster.node) ->
+          List.length (Gcs.Endpoint.members_of node.Cluster.endpoint group) = n)
+        cluster.Cluster.nodes);
+  { cluster; services }
+
+let run_all h fibers =
+  let remaining = ref (List.length fibers) in
+  List.iter
+    (fun f ->
+      Dsim.Fiber.spawn h.cluster.Cluster.eng (fun () ->
+          f ();
+          decr remaining))
+    fibers;
+  Cluster.run_until h.cluster (fun () -> !remaining = 0)
+
+(* Each replica performs [rounds] reads on thread 1, separated by
+   per-replica delays; returns the per-replica list of group clock values. *)
+let staggered_reads h ~rounds ~delays_us =
+  let results = Array.map (fun _ -> ref []) h.services in
+  let fibers =
+    Array.to_list
+      (Array.mapi
+         (fun i service () ->
+           let delay = List.nth delays_us (i mod List.length delays_us) in
+           for _ = 1 to rounds do
+             Dsim.Fiber.sleep h.cluster.Cluster.eng (Span.of_us delay);
+             let v = Service.gettimeofday service ~thread:thread1 in
+             results.(i) := v :: !(results.(i))
+           done)
+         h.services)
+  in
+  run_all h fibers;
+  Array.map (fun r -> List.rev !r) results
+
+(* ------------------------------------------------------------------ *)
+
+let test_replicas_agree () =
+  let clock_config i =
+    {
+      Clock.Hwclock.default_config with
+      offset = Span.of_us (1000 * i);
+      drift_ppm = 20. *. float_of_int i;
+    }
+  in
+  let h = make ~clock_config () in
+  let results = staggered_reads h ~rounds:20 ~delays_us:[ 120; 260; 390 ] in
+  check int "all completed" 20 (List.length results.(0));
+  for i = 1 to 2 do
+    check bool
+      (Printf.sprintf "replica %d sees identical group clock sequence" i)
+      true
+      (List.for_all2 Time.equal results.(0) results.(i))
+  done
+
+let test_group_clock_monotone () =
+  let clock_config i =
+    { Clock.Hwclock.default_config with offset = Span.of_us (-700 * i) }
+  in
+  let h = make ~clock_config () in
+  let results = staggered_reads h ~rounds:30 ~delays_us:[ 90; 300; 170 ] in
+  Array.iteri
+    (fun i vs ->
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> Time.(a <= b) && monotone rest
+        | [ _ ] | [] -> true
+      in
+      check bool (Printf.sprintf "replica %d monotone" i) true (monotone vs);
+      check int "no rollbacks recorded" 0
+        (Service.stats h.services.(i)).Service.rollbacks)
+    results
+
+let test_offset_algebra () =
+  (* After each round, offset = group clock - physical clock, so applying
+     the offset to a fresh clock read reproduces the group clock plane. *)
+  let clock_config i =
+    { Clock.Hwclock.default_config with offset = Span.of_us (500 * i) }
+  in
+  let h = make ~clock_config () in
+  let eng = h.cluster.Cluster.eng in
+  let service = h.services.(1) in
+  let clock = h.cluster.Cluster.nodes.(1).Cluster.clock in
+  run_all h
+    [
+      (fun () ->
+        Dsim.Fiber.sleep eng (Span.of_us 100);
+        let pc_before = Clock.Hwclock.read clock in
+        let gc = Service.gettimeofday service ~thread:thread1 in
+        (* the clock read inside the service happened at the same instant
+           as [pc_before]; blocking added no physical-clock movement on the
+           offset computation side *)
+        ignore pc_before;
+        let pc_now = Clock.Hwclock.read clock in
+        let reconstructed = Time.add pc_now (Service.offset service) in
+        (* gc <= reconstructed <= gc + blocking time *)
+        check bool "offset maps local clock onto group clock" true
+          Time.(reconstructed >= gc));
+    ]
+
+let test_duplicate_suppression_staggered () =
+  (* When one replica initiates clearly first, the others find the winner's
+     CCS message already buffered and send nothing: exactly one CCS message
+     per round reaches the network (§4.3). *)
+  let h = make () in
+  let eng = h.cluster.Cluster.eng in
+  let rounds = 10 in
+  let base = Time.to_us (Dsim.Engine.now h.cluster.Cluster.eng) in
+  let reader i service () =
+    for r = 1 to rounds do
+      (* replica 0 always starts the round 400 us before the others *)
+      let target = base + (r * 2000) + (i * 400) in
+      let now = Time.to_us (Dsim.Engine.now eng) in
+      Dsim.Fiber.sleep eng (Span.of_us (target - now));
+      ignore (Service.gettimeofday service ~thread:thread1 : Time.t)
+    done
+  in
+  run_all h (Array.to_list (Array.mapi reader h.services));
+  let sent =
+    Array.fold_left
+      (fun acc s -> acc + (Service.stats s).Service.ccs_sent)
+      0 h.services
+  in
+  let sup =
+    Array.fold_left
+      (fun acc s -> acc + (Service.stats s).Service.suppressed)
+      0 h.services
+  in
+  check int "one CCS send per round" rounds sent;
+  check int "other replicas suppressed" (2 * rounds) sup;
+  check int "fast replica sent them all" rounds
+    (Service.stats h.services.(0)).Service.ccs_sent
+
+let test_fig4_example () =
+  let rows = Scenario.Experiments.fig4 () in
+  check int "9 readings" 9 (List.length rows);
+  let expect =
+    (* (round, replica, gc in minutes past 8:00, offset in minutes) *)
+    [
+      (1, 1, 10., 0.);
+      (1, 2, 10., -5.);
+      (1, 3, 10., -15.);
+      (2, 1, 25., -15.);
+      (2, 2, 25., -5.);
+      (2, 3, 25., -10.);
+      (3, 1, 40., -20.);
+      (3, 2, 40., -15.);
+      (3, 3, 40., -10.);
+    ]
+  in
+  List.iter2
+    (fun (round, replica, gc, offset) (row : Scenario.Experiments.fig4_row) ->
+      check int "round" round row.f4_round;
+      check int "replica" replica row.f4_replica;
+      check (Alcotest.float 0.2)
+        (Printf.sprintf "group clock r%d/%d" round replica)
+        gc row.f4_gc_min;
+      check (Alcotest.float 0.2)
+        (Printf.sprintf "offset r%d/%d" round replica)
+        offset row.f4_offset_min)
+    expect rows
+
+let test_multiple_threads_independent () =
+  let h = make () in
+  let eng = h.cluster.Cluster.eng in
+  let t2 = Cts.Thread_id.of_int 2 in
+  let per_thread = Hashtbl.create 8 in
+  let reader i service () =
+    for _ = 1 to 10 do
+      Dsim.Fiber.sleep eng (Span.of_us (130 + (i * 70)));
+      let v1 = Service.gettimeofday service ~thread:thread1 in
+      let v2 = Service.gettimeofday service ~thread:t2 in
+      let key = (i, 1) in
+      Hashtbl.replace per_thread key
+        (v1 :: (try Hashtbl.find per_thread key with Not_found -> []));
+      let key = (i, 2) in
+      Hashtbl.replace per_thread key
+        (v2 :: (try Hashtbl.find per_thread key with Not_found -> []))
+    done
+  in
+  run_all h (Array.to_list (Array.mapi reader h.services));
+  (* each thread's sequence is identical across replicas *)
+  List.iter
+    (fun tid ->
+      let s0 = Hashtbl.find per_thread (0, tid) in
+      for i = 1 to 2 do
+        check bool
+          (Printf.sprintf "thread %d agrees at replica %d" tid i)
+          true
+          (List.for_all2 Time.equal s0 (Hashtbl.find per_thread (i, tid)))
+      done)
+    [ 1; 2 ]
+
+let test_call_type_granularity () =
+  let clock_config _ =
+    { Clock.Hwclock.default_config with offset = Span.of_us 123 }
+  in
+  let h = make ~clock_config () in
+  let eng = h.cluster.Cluster.eng in
+  run_all h
+    [
+      (fun () ->
+        Dsim.Fiber.sleep eng (Span.of_ms 1);
+        let s = h.services.(0) in
+        let tod = Service.gettimeofday s ~thread:thread1 in
+        check int "gettimeofday is us-granular" 0 (Time.to_ns tod mod 1_000);
+        let sec = Service.time s ~thread:thread1 in
+        check int "time is s-granular" 0 (Time.to_ns sec mod 1_000_000_000);
+        let ms = Service.ftime s ~thread:thread1 in
+        check int "ftime is ms-granular" 0 (Time.to_ns ms mod 1_000_000));
+    ]
+
+let test_common_input_buffer () =
+  (* A slow replica receives CCS messages for a thread it has not created
+     yet; they are parked in the common input buffer and consumed when the
+     thread performs its first clock operation (Fig. 2 line 10). *)
+  let h = make ~n:2 () in
+  let eng = h.cluster.Cluster.eng in
+  let got = ref None and expect = ref None in
+  run_all h
+    [
+      (fun () ->
+        Dsim.Fiber.sleep eng (Span.of_us 50);
+        expect := Some (Service.gettimeofday h.services.(0) ~thread:thread1));
+      (fun () ->
+        (* this replica only creates the thread much later *)
+        Dsim.Fiber.sleep eng (Span.of_ms 5);
+        got := Some (Service.gettimeofday h.services.(1) ~thread:thread1));
+    ];
+  check bool "slow replica adopted the buffered winner" true
+    (Time.equal (Option.get !got) (Option.get !expect))
+
+let test_primary_backup_only_primary_sends () =
+  let config _ =
+    { Service.default_config with mode = Service.Primary_backup }
+  in
+  let h = make ~config () in
+  let results = staggered_reads h ~rounds:8 ~delays_us:[ 150; 150; 150 ] in
+  for i = 1 to 2 do
+    check bool "backups agree with primary" true
+      (List.for_all2 Time.equal results.(0) results.(i))
+  done;
+  (* group membership order decides the primary; exactly one service sent *)
+  let sents =
+    Array.to_list
+      (Array.map (fun s -> (Service.stats s).Service.ccs_sent) h.services)
+  in
+  check int "total sends = rounds" 8 (List.fold_left ( + ) 0 sents);
+  check int "a single sender" 1
+    (List.length (List.filter (fun c -> c > 0) sents))
+
+let test_promotion_resends_ccs () =
+  (* The primary crashes before sending the CCS message of the round the
+     backups are blocked in; the promoted backup must send it (§3). *)
+  let config _ =
+    { Service.default_config with mode = Service.Primary_backup }
+  in
+  let h = make ~config ~latency_us:20 () in
+  let eng = h.cluster.Cluster.eng in
+  (* determine the primary = first member in group join order *)
+  let group = h.cluster.Cluster.server_group in
+  let members =
+    Gcs.Endpoint.members_of h.cluster.Cluster.nodes.(0).Cluster.endpoint group
+  in
+  let primary = Netsim.Node_id.to_int (List.hd members) in
+  let backups =
+    List.filter (fun i -> i <> primary) [ 0; 1; 2 ]
+  in
+  (* crash the primary's node outright; then backups start a round *)
+  Gcs.Endpoint.crash h.cluster.Cluster.nodes.(primary).Cluster.endpoint;
+  let vals = Hashtbl.create 2 in
+  run_all h
+    (List.map
+       (fun i () ->
+         Dsim.Fiber.sleep eng (Span.of_us (80 + (10 * i)));
+         let v = Service.gettimeofday h.services.(i) ~thread:thread1 in
+         Hashtbl.replace vals i v)
+       backups);
+  check int "both backups completed the round" 2 (Hashtbl.length vals);
+  match backups with
+  | [ a; b ] ->
+      check bool "agreed value" true
+        (Time.equal (Hashtbl.find vals a) (Hashtbl.find vals b))
+  | _ -> assert false
+
+(* In primary/backup operation the clock-related operation is executed by
+   every replica (semi-active processing): round 1 before the primary's
+   crash, round 2 after it.  Returns per-node [(v1, v2 option)] plus the
+   crashed primary's index. *)
+let failover_scenario ~offset_tracking =
+  let config _ =
+    { Service.default_config with mode = Service.Primary_backup; offset_tracking }
+  in
+  (* every node's clock runs far behind the previous one, so the skew
+     dominates the failover duration and roll-back is observable *)
+  let clock_config i =
+    { Clock.Hwclock.default_config with offset = Span.of_ms (-200 * i) }
+  in
+  let h = make ~config ~clock_config () in
+  let eng = h.cluster.Cluster.eng in
+  let group = h.cluster.Cluster.server_group in
+  let members =
+    Gcs.Endpoint.members_of h.cluster.Cluster.nodes.(0).Cluster.endpoint group
+  in
+  let primary = Netsim.Node_id.to_int (List.hd members) in
+  let v1 = Array.make 3 Time.epoch and v2 = Array.make 3 None in
+  Dsim.Engine.schedule eng (Span.of_ms 2) (fun () ->
+      Gcs.Endpoint.crash h.cluster.Cluster.nodes.(primary).Cluster.endpoint);
+  let reader i () =
+    Dsim.Fiber.sleep eng (Span.of_us (100 + (i * 30)));
+    v1.(i) <- Service.gettimeofday h.services.(i) ~thread:thread1;
+    if i <> primary then begin
+      Dsim.Fiber.sleep eng (Span.of_ms 30);
+      v2.(i) <- Some (Service.gettimeofday h.services.(i) ~thread:thread1)
+    end
+  in
+  run_all h (List.map reader [ 0; 1; 2 ]);
+  (h, primary, v1, v2)
+
+let test_baseline_rolls_back_on_failover () =
+  (* offset_tracking = false reproduces [9]/[3]: the promoted primary
+     answers with its own physical clock, which sits behind the old
+     primary's last value. *)
+  let h, primary, v1, v2 = failover_scenario ~offset_tracking:false in
+  let rolled = ref false in
+  Array.iteri
+    (fun i v2i ->
+      match v2i with
+      | Some v2i -> if Time.(v2i < v1.(i)) then rolled := true
+      | None -> ())
+    v2;
+  check bool "baseline clock rolled back at a survivor" true !rolled;
+  let total_rollbacks =
+    List.fold_left
+      (fun acc i ->
+        if i = primary then acc
+        else acc + (Service.stats h.services.(i)).Service.rollbacks)
+      0 [ 0; 1; 2 ]
+  in
+  check bool "rollback recorded in stats" true (total_rollbacks >= 1)
+
+let test_cts_no_rollback_on_failover () =
+  (* identical scenario, with the consistent time service *)
+  let h, primary, v1, v2 = failover_scenario ~offset_tracking:true in
+  Array.iteri
+    (fun i v2i ->
+      match v2i with
+      | Some v2i ->
+          check bool "group clock advanced" true Time.(v2i >= v1.(i))
+      | None -> ())
+    v2;
+  List.iter
+    (fun i ->
+      if i <> primary then
+        check int "no rollback" 0
+          (Service.stats h.services.(i)).Service.rollbacks)
+    [ 0; 1; 2 ]
+
+let test_mean_delay_compensation_shifts_offset () =
+  let mk comp =
+    let config _ = { Service.default_config with drift = comp } in
+    let h = make ~config () in
+    let _ = staggered_reads h ~rounds:20 ~delays_us:[ 100; 220; 340 ] in
+    Span.to_us (Service.offset h.services.(0))
+  in
+  let base = mk Cts.Drift.No_compensation in
+  let comp = mk (Cts.Drift.Mean_delay (Span.of_us 120)) in
+  check bool "compensated offset sits above uncompensated" true
+    (comp > base + 60)
+
+let test_anchored_compensation_bounds_drift () =
+  let off_end r =
+    let last =
+      List.nth r.Scenario.Experiments.samples.(0)
+        (List.length r.Scenario.Experiments.samples.(0) - 1)
+    in
+    Span.to_us
+      (Time.diff last.Scenario.Experiments.gc last.Scenario.Experiments.real)
+  in
+  let run compensation =
+    off_end (Scenario.Experiments.skew ~seed:5L ~rounds:300 ~compensation ())
+  in
+  let uncomp = run `No_compensation in
+  let anchored = run (`Anchored (0.1, 0)) in
+  check bool "uncompensated group clock falls behind real time" true
+    (uncomp < -1000);
+  check bool "anchoring keeps the group clock near real time" true
+    (abs anchored < abs uncomp / 5)
+
+let prop_agreement_random_schedules =
+  QCheck.Test.make ~count:15 ~name:"replicas agree under random schedules"
+    QCheck.(pair (int_range 1 1000) (int_range 3 12))
+    (fun (seed, rounds) ->
+      let h = make ~seed:(Int64.of_int (seed + 17)) () in
+      let results =
+        staggered_reads h ~rounds ~delays_us:[ 80 + (seed mod 200); 210; 350 ]
+      in
+      Array.for_all
+        (fun r -> List.for_all2 Time.equal results.(0) r)
+        results
+      &&
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> Time.(a <= b) && monotone rest
+        | [ _ ] | [] -> true
+      in
+      monotone results.(0))
+
+let suites =
+  [
+    ( "cts.algorithm",
+      [
+        Alcotest.test_case "replicas agree" `Quick test_replicas_agree;
+        Alcotest.test_case "monotone" `Quick test_group_clock_monotone;
+        Alcotest.test_case "offset algebra" `Quick test_offset_algebra;
+        Alcotest.test_case "duplicate suppression" `Quick
+          test_duplicate_suppression_staggered;
+        Alcotest.test_case "figure 4 example" `Quick test_fig4_example;
+        Alcotest.test_case "multiple threads" `Quick
+          test_multiple_threads_independent;
+        Alcotest.test_case "call granularity" `Quick
+          test_call_type_granularity;
+        Alcotest.test_case "common input buffer" `Quick
+          test_common_input_buffer;
+        QCheck_alcotest.to_alcotest prop_agreement_random_schedules;
+      ] );
+    ( "cts.primary_backup",
+      [
+        Alcotest.test_case "only primary sends" `Quick
+          test_primary_backup_only_primary_sends;
+        Alcotest.test_case "promotion resends" `Quick
+          test_promotion_resends_ccs;
+        Alcotest.test_case "baseline rolls back" `Quick
+          test_baseline_rolls_back_on_failover;
+        Alcotest.test_case "cts never rolls back" `Quick
+          test_cts_no_rollback_on_failover;
+      ] );
+    ( "cts.drift",
+      [
+        Alcotest.test_case "mean-delay shifts offset" `Quick
+          test_mean_delay_compensation_shifts_offset;
+        Alcotest.test_case "uncompensated drift" `Slow
+          test_anchored_compensation_bounds_drift;
+      ] );
+  ]

@@ -1,0 +1,421 @@
+(* Unit and property tests for the discrete-event engine, fibers and
+   synchronization primitives. *)
+
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+module Engine = Dsim.Engine
+module Fiber = Dsim.Fiber
+module Sync = Dsim.Sync
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let test_time_arithmetic () =
+  let t = Time.add Time.epoch (Span.of_us 5) in
+  check int "us roundtrip" 5 (Time.to_us t);
+  let t2 = Time.add t (Span.of_ms 1) in
+  check int "diff" 1_000_000 (Span.to_ns (Time.diff t2 t));
+  check bool "order" true Time.(t < t2);
+  check int "sub" 5 (Time.to_us (Time.sub t2 (Span.of_ms 1)))
+
+let test_time_truncate () =
+  let t = Time.of_ns 123_456_789 in
+  check int "truncate to us" 123_456_000
+    (Time.to_ns (Time.truncate_to (Span.of_us 1) t));
+  check int "truncate to s" 0
+    (Time.to_ns (Time.truncate_to (Span.of_sec 1) t));
+  check int "truncate exact" 123_456_000
+    (Time.to_ns (Time.truncate_to (Span.of_us 1) (Time.of_ns 123_456_000)))
+
+let test_span_scale () =
+  check int "scale 0.5" 500 (Span.to_ns (Span.scale 0.5 (Span.of_ns 1000)));
+  check int "neg" (-250) (Span.to_ns (Span.neg (Span.of_ns 250)));
+  check bool "is_negative" true (Span.is_negative (Span.of_ns (-1)))
+
+let test_time_pp () =
+  let s = Format.asprintf "%a" Time.pp (Time.of_us 12_000_351) in
+  check Alcotest.string "pp" "12.000351s" s
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Dsim.Rng.create 42L and b = Dsim.Rng.create 42L in
+  for _ = 1 to 100 do
+    check int "same stream" (Dsim.Rng.bits a) (Dsim.Rng.bits b)
+  done
+
+let test_rng_split_independent () =
+  let a = Dsim.Rng.create 42L in
+  let c = Dsim.Rng.split a in
+  (* the split stream differs from the parent's continuation *)
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Dsim.Rng.bits a <> Dsim.Rng.bits c then differs := true
+  done;
+  check bool "split independent" true !differs
+
+let test_rng_range () =
+  let r = Dsim.Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Dsim.Rng.int_range r (-3) 5 in
+    if v < -3 || v > 5 then Alcotest.fail "out of range"
+  done
+
+let test_rng_range_covers () =
+  let r = Dsim.Rng.create 7L in
+  let seen = Array.make 3 false in
+  for _ = 1 to 300 do
+    seen.(Dsim.Rng.int_range r 0 2) <- true
+  done;
+  check bool "all values drawn" true (Array.for_all Fun.id seen)
+
+let test_rng_gaussian_moments () =
+  let r = Dsim.Rng.create 11L in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Dsim.Rng.gaussian r ~mu:10. ~sigma:2.
+  done;
+  let mean = !sum /. float_of_int n in
+  check bool "gaussian mean near mu" true (abs_float (mean -. 10.) < 0.1)
+
+(* ------------------------------------------------------------------ *)
+(* Event queue *)
+
+let test_queue_order () =
+  let q = Dsim.Event_queue.create () in
+  Dsim.Event_queue.push q (Time.of_us 3) "c";
+  Dsim.Event_queue.push q (Time.of_us 1) "a";
+  Dsim.Event_queue.push q (Time.of_us 2) "b";
+  let pop () = snd (Option.get (Dsim.Event_queue.pop q)) in
+  check Alcotest.string "first" "a" (pop ());
+  check Alcotest.string "second" "b" (pop ());
+  check Alcotest.string "third" "c" (pop ());
+  check bool "empty" true (Dsim.Event_queue.is_empty q)
+
+let test_queue_fifo_at_same_time () =
+  let q = Dsim.Event_queue.create () in
+  for i = 1 to 50 do
+    Dsim.Event_queue.push q (Time.of_us 1) i
+  done;
+  for i = 1 to 50 do
+    check int "fifo" i (snd (Option.get (Dsim.Event_queue.pop q)))
+  done
+
+let test_queue_growth () =
+  let q = Dsim.Event_queue.create () in
+  for i = 999 downto 0 do
+    Dsim.Event_queue.push q (Time.of_us i) i
+  done;
+  check int "length" 1000 (Dsim.Event_queue.length q);
+  let prev = ref (-1) in
+  for _ = 1 to 1000 do
+    let _, v = Option.get (Dsim.Event_queue.pop q) in
+    if v <= !prev then Alcotest.fail "heap order violated";
+    prev := v
+  done
+
+let prop_queue_sorted =
+  QCheck.Test.make ~count:200 ~name:"event queue pops in time order"
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let q = Dsim.Event_queue.create () in
+      List.iter (fun us -> Dsim.Event_queue.push q (Time.of_us us) us) times;
+      let rec drain prev =
+        match Dsim.Event_queue.pop q with
+        | None -> true
+        | Some (_, v) -> v >= prev && drain v
+      in
+      drain (-1))
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_runs_in_order () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.schedule eng (Span.of_us 10) (fun () -> log := 2 :: !log);
+  Engine.schedule eng (Span.of_us 5) (fun () -> log := 1 :: !log);
+  Engine.schedule eng (Span.of_us 20) (fun () -> log := 3 :: !log);
+  Engine.run eng;
+  check (Alcotest.list int) "order" [ 1; 2; 3 ] (List.rev !log);
+  check int "time advanced" 20 (Time.to_us (Engine.now eng))
+
+let test_engine_until () =
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule eng (Span.of_us 5) (fun () -> incr fired);
+  Engine.schedule eng (Span.of_us 50) (fun () -> incr fired);
+  Engine.run ~until:(Time.of_us 10) eng;
+  check int "only first fired" 1 !fired;
+  check int "clock at horizon" 10 (Time.to_us (Engine.now eng));
+  Engine.run eng;
+  check int "rest fired" 2 !fired
+
+let test_engine_nested_schedule () =
+  let eng = Engine.create () in
+  let hits = ref [] in
+  Engine.schedule eng (Span.of_us 1) (fun () ->
+      hits := Time.to_us (Engine.now eng) :: !hits;
+      Engine.schedule eng (Span.of_us 2) (fun () ->
+          hits := Time.to_us (Engine.now eng) :: !hits));
+  Engine.run eng;
+  check (Alcotest.list int) "nested times" [ 1; 3 ] (List.rev !hits)
+
+let test_engine_stop () =
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule eng (Span.of_us 1) (fun () ->
+      incr fired;
+      Engine.stop eng);
+  Engine.schedule eng (Span.of_us 2) (fun () -> incr fired);
+  Engine.run eng;
+  check int "stopped after first" 1 !fired
+
+let test_engine_rejects_past () =
+  let eng = Engine.create () in
+  Engine.schedule eng (Span.of_us 10) (fun () ->
+      Alcotest.check_raises "past scheduling rejected"
+        (Invalid_argument
+           "Engine.schedule_at: 0.000005s is before now (0.000010s)")
+        (fun () -> Engine.schedule_at eng (Time.of_us 5) ignore));
+  Engine.run eng
+
+(* ------------------------------------------------------------------ *)
+(* Fibers *)
+
+let test_fiber_sleep () =
+  let eng = Engine.create () in
+  let woke = ref Time.epoch in
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep eng (Span.of_us 42);
+      woke := Engine.now eng);
+  Engine.run eng;
+  check int "woke at 42us" 42 (Time.to_us !woke)
+
+let test_fiber_interleaving () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  let fiber name delay =
+    Fiber.spawn eng (fun () ->
+        Fiber.sleep eng (Span.of_us delay);
+        log := name :: !log;
+        Fiber.sleep eng (Span.of_us delay);
+        log := name :: !log)
+  in
+  fiber "slow" 10;
+  fiber "fast" 3;
+  Engine.run eng;
+  check
+    (Alcotest.list Alcotest.string)
+    "interleaved" [ "fast"; "fast"; "slow"; "slow" ] (List.rev !log)
+
+let test_fiber_not_in_fiber () =
+  let eng = Engine.create () in
+  Alcotest.check_raises "sleep outside fiber" Fiber.Not_in_fiber (fun () ->
+      Fiber.sleep eng (Span.of_us 1))
+
+let test_fiber_double_resume_rejected () =
+  let eng = Engine.create () in
+  let saved = ref None in
+  Fiber.spawn eng (fun () -> Fiber.suspend (fun k -> saved := Some k));
+  Engine.run eng;
+  let k = Option.get !saved in
+  k ();
+  Alcotest.check_raises "second resume rejected"
+    (Invalid_argument "Fiber: resume called twice") k
+
+(* ------------------------------------------------------------------ *)
+(* Sync *)
+
+let test_ivar () =
+  let eng = Engine.create () in
+  let iv = Sync.Ivar.create () in
+  let got = ref 0 in
+  Fiber.spawn eng (fun () -> got := Sync.Ivar.read iv);
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep eng (Span.of_us 7);
+      Sync.Ivar.fill eng iv 99);
+  Engine.run eng;
+  check int "ivar value" 99 !got;
+  check bool "is_filled" true (Sync.Ivar.is_filled iv);
+  Alcotest.check_raises "double fill"
+    (Invalid_argument "Ivar.fill: already filled") (fun () ->
+      Sync.Ivar.fill eng iv 1)
+
+let test_ivar_multiple_readers () =
+  let eng = Engine.create () in
+  let iv = Sync.Ivar.create () in
+  let sum = ref 0 in
+  for _ = 1 to 5 do
+    Fiber.spawn eng (fun () -> sum := !sum + Sync.Ivar.read iv)
+  done;
+  Fiber.spawn eng (fun () -> Sync.Ivar.fill eng iv 10);
+  Engine.run eng;
+  check int "all readers woke" 50 !sum
+
+let test_mailbox_fifo () =
+  let eng = Engine.create () in
+  let mb = Sync.Mailbox.create () in
+  let got = ref [] in
+  Fiber.spawn eng (fun () ->
+      for _ = 1 to 3 do
+        got := Sync.Mailbox.recv mb :: !got
+      done);
+  Fiber.spawn eng (fun () ->
+      Sync.Mailbox.send eng mb "a";
+      Fiber.sleep eng (Span.of_us 1);
+      Sync.Mailbox.send eng mb "b";
+      Sync.Mailbox.send eng mb "c");
+  Engine.run eng;
+  check
+    (Alcotest.list Alcotest.string)
+    "fifo" [ "a"; "b"; "c" ] (List.rev !got)
+
+let test_mailbox_nonblocking () =
+  let eng = Engine.create () in
+  let mb = Sync.Mailbox.create () in
+  check bool "recv_opt empty" true (Sync.Mailbox.recv_opt mb = None);
+  Sync.Mailbox.send eng mb 5;
+  check bool "recv_opt full" true (Sync.Mailbox.recv_opt mb = Some 5)
+
+let test_condition () =
+  let eng = Engine.create () in
+  let cond = Sync.Condition.create () in
+  let woke = ref 0 in
+  for _ = 1 to 3 do
+    Fiber.spawn eng (fun () ->
+        Sync.Condition.wait cond;
+        incr woke)
+  done;
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep eng (Span.of_us 1);
+      Sync.Condition.signal eng cond;
+      Fiber.sleep eng (Span.of_us 1);
+      Sync.Condition.broadcast eng cond);
+  Engine.run eng;
+  check int "all woke" 3 !woke
+
+let test_waitgroup () =
+  let eng = Engine.create () in
+  let wg = Sync.Waitgroup.create 3 in
+  let finished = ref false in
+  Fiber.spawn eng (fun () ->
+      Sync.Waitgroup.wait wg;
+      finished := true);
+  for i = 1 to 3 do
+    Fiber.spawn eng (fun () ->
+        Fiber.sleep eng (Span.of_us i);
+        Sync.Waitgroup.finish eng wg)
+  done;
+  Engine.run eng;
+  check bool "waitgroup completed" true !finished
+
+let prop_fiber_sleep_ordering =
+  QCheck.Test.make ~count:100
+    ~name:"fibers wake in sleep-duration order"
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_range 1 10_000))
+    (fun delays ->
+      let eng = Engine.create () in
+      let order = ref [] in
+      List.iter
+        (fun d ->
+          Fiber.spawn eng (fun () ->
+              Fiber.sleep eng (Span.of_us d);
+              order := d :: !order))
+        delays;
+      Engine.run eng;
+      let woke = List.rev !order in
+      List.sort compare delays = List.stable_sort compare woke
+      && List.length woke = List.length delays)
+
+let prop_time_add_sub_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"time add/sub round-trips"
+    QCheck.(pair (int_range 0 1_000_000_000) (int_range (-500_000) 500_000))
+    (fun (t_ns, d_ns) ->
+      let t = Time.of_ns t_ns and d = Span.of_ns d_ns in
+      Time.to_ns (Time.sub (Time.add t d) d) = t_ns
+      && Span.to_ns (Time.diff (Time.add t d) t) = d_ns)
+
+let prop_truncate_idempotent =
+  QCheck.Test.make ~count:300 ~name:"truncate_to is idempotent and lowers"
+    QCheck.(pair (int_range 0 1_000_000_000) (int_range 1 1_000_000))
+    (fun (t_ns, g_ns) ->
+      let t = Time.of_ns t_ns and g = Span.of_ns g_ns in
+      let once = Time.truncate_to g t in
+      Time.equal (Time.truncate_to g once) once
+      && Time.(once <= t)
+      && Span.to_ns (Time.diff t once) < g_ns)
+
+let prop_span_scale_linear =
+  QCheck.Test.make ~count:300 ~name:"span scale by 1.0 is identity"
+    QCheck.(int_range (-1_000_000) 1_000_000)
+    (fun ns ->
+      let s = Span.of_ns ns in
+      Span.equal (Span.scale 1.0 s) s
+      && Span.equal (Span.add (Span.neg s) s) Span.zero)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suites =
+  [
+    ( "dsim.time",
+      [
+        Alcotest.test_case "arithmetic" `Quick test_time_arithmetic;
+        Alcotest.test_case "truncate" `Quick test_time_truncate;
+        Alcotest.test_case "span scale" `Quick test_span_scale;
+        Alcotest.test_case "pp" `Quick test_time_pp;
+        QCheck_alcotest.to_alcotest prop_time_add_sub_roundtrip;
+        QCheck_alcotest.to_alcotest prop_truncate_idempotent;
+        QCheck_alcotest.to_alcotest prop_span_scale_linear;
+      ] );
+    ( "dsim.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "split" `Quick test_rng_split_independent;
+        Alcotest.test_case "range bounds" `Quick test_rng_range;
+        Alcotest.test_case "range covers" `Quick test_rng_range_covers;
+        Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+      ] );
+    ( "dsim.queue",
+      [
+        Alcotest.test_case "order" `Quick test_queue_order;
+        Alcotest.test_case "fifo ties" `Quick test_queue_fifo_at_same_time;
+        Alcotest.test_case "growth" `Quick test_queue_growth;
+        QCheck_alcotest.to_alcotest prop_queue_sorted;
+      ] );
+    ( "dsim.engine",
+      [
+        Alcotest.test_case "order" `Quick test_engine_runs_in_order;
+        Alcotest.test_case "until" `Quick test_engine_until;
+        Alcotest.test_case "nested" `Quick test_engine_nested_schedule;
+        Alcotest.test_case "stop" `Quick test_engine_stop;
+        Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+      ] );
+    ( "dsim.fiber",
+      [
+        Alcotest.test_case "sleep" `Quick test_fiber_sleep;
+        Alcotest.test_case "interleaving" `Quick test_fiber_interleaving;
+        Alcotest.test_case "not in fiber" `Quick test_fiber_not_in_fiber;
+        Alcotest.test_case "double resume" `Quick
+          test_fiber_double_resume_rejected;
+        QCheck_alcotest.to_alcotest prop_fiber_sleep_ordering;
+      ] );
+    ( "dsim.sync",
+      [
+        Alcotest.test_case "ivar" `Quick test_ivar;
+        Alcotest.test_case "ivar readers" `Quick test_ivar_multiple_readers;
+        Alcotest.test_case "mailbox fifo" `Quick test_mailbox_fifo;
+        Alcotest.test_case "mailbox nonblocking" `Quick
+          test_mailbox_nonblocking;
+        Alcotest.test_case "condition" `Quick test_condition;
+        Alcotest.test_case "waitgroup" `Quick test_waitgroup;
+      ] );
+  ]
+
+let _ = qsuite

@@ -1,0 +1,280 @@
+(* Tests for the group communication service: group views, ranks, ordered
+   delivery to groups, late joiner snapshots, primary component. *)
+
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+module Nid = Netsim.Node_id
+module Gid = Gcs.Group_id
+module Endpoint = Gcs.Endpoint
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let n = Nid.of_int
+let g = Gid.of_int
+
+type Gcs.Msg.body += Test_body of string
+
+let body_string = function Test_body s -> s | _ -> "?"
+
+type member = {
+  ep : Endpoint.t;
+  mutable got : (string * int) list; (* payload, from node *)
+  mutable views : Gcs.View.t list;
+}
+
+type harness = {
+  eng : Dsim.Engine.t;
+  net : Endpoint.payload Totem.Wire.t Netsim.Network.t;
+  eps : Endpoint.t array;
+}
+
+let make_harness ?(seed = 1L) count =
+  let eng = Dsim.Engine.create ~seed () in
+  let net =
+    Netsim.Network.create eng
+      {
+        Netsim.Network.latency = Netsim.Latency.Constant (Span.of_us 26);
+        loss = 0.;
+      }
+  in
+  let eps =
+    Array.init count (fun i ->
+        Endpoint.create eng net ~me:(n i) ~bootstrap:true ())
+  in
+  { eng; net; eps }
+
+let run_for h ms =
+  Dsim.Engine.run ~until:(Time.add (Dsim.Engine.now h.eng) (Span.of_ms ms)) h.eng
+
+let join h i group =
+  let m = { ep = h.eps.(i); got = []; views = [] } in
+  Endpoint.join_group h.eps.(i) group ~handler:(fun ev ->
+      match ev with
+      | Endpoint.Deliver { msg; from_node } ->
+          m.got <- (body_string msg.body, Nid.to_int from_node) :: m.got
+      | Endpoint.View_change v -> m.views <- v :: m.views
+      | Endpoint.Block | Endpoint.Evicted -> ());
+  m
+
+let send h i ~src_grp ~dst_grp s =
+  Endpoint.multicast h.eps.(i)
+    (Gcs.Msg.make ~msg_type:"TEST" ~src_grp ~dst_grp ~conn_id:1 ~msg_seq:0
+       (Test_body s))
+
+let payloads m = List.rev_map fst m.got
+
+let test_group_join_and_view () =
+  let h = make_harness 3 in
+  Array.iter Endpoint.start h.eps;
+  run_for h 50;
+  let m0 = join h 0 (g 7) in
+  run_for h 20;
+  let m1 = join h 1 (g 7) in
+  run_for h 50;
+  (match m0.views with
+  | v :: _ ->
+      check int "two members" 2 (Gcs.View.size v);
+      check (Alcotest.option int) "rank of n0"
+        (Some 0)
+        (Gcs.View.rank_of v (n 0));
+      check (Alcotest.option int) "rank of n1"
+        (Some 1)
+        (Gcs.View.rank_of v (n 1))
+  | [] -> Alcotest.fail "no view at m0");
+  check int "peer agrees on size" 2
+    (List.length (Endpoint.members_of h.eps.(2) (g 7)));
+  ignore m1
+
+let test_ranks_follow_join_order () =
+  let h = make_harness 3 in
+  Array.iter Endpoint.start h.eps;
+  run_for h 50;
+  (* join in reverse node order: ranks must follow join order, not ids *)
+  let _m2 = join h 2 (g 1) in
+  run_for h 20;
+  let _m1 = join h 1 (g 1) in
+  run_for h 20;
+  let _m0 = join h 0 (g 1) in
+  run_for h 50;
+  let members = Endpoint.members_of h.eps.(0) (g 1) in
+  check (Alcotest.list int) "join order" [ 2; 1; 0 ]
+    (List.map Nid.to_int members)
+
+let test_delivery_to_members_only () =
+  let h = make_harness 3 in
+  Array.iter Endpoint.start h.eps;
+  run_for h 50;
+  let m0 = join h 0 (g 2) and m1 = join h 1 (g 2) in
+  let outsider = join h 2 (g 3) in
+  run_for h 50;
+  send h 2 ~src_grp:(g 3) ~dst_grp:(g 2) "hello";
+  run_for h 50;
+  check (Alcotest.list Alcotest.string) "member 0 got it" [ "hello" ]
+    (payloads m0);
+  check (Alcotest.list Alcotest.string) "member 1 got it" [ "hello" ]
+    (payloads m1);
+  check (Alcotest.list Alcotest.string) "outsider got nothing" []
+    (payloads outsider)
+
+let test_sender_receives_own_multicast () =
+  let h = make_harness 2 in
+  Array.iter Endpoint.start h.eps;
+  run_for h 50;
+  let m0 = join h 0 (g 4) in
+  run_for h 50;
+  send h 0 ~src_grp:(g 4) ~dst_grp:(g 4) "self";
+  run_for h 50;
+  check (Alcotest.list Alcotest.string) "self delivery" [ "self" ]
+    (payloads m0)
+
+let test_total_order_within_group () =
+  let h = make_harness ~seed:3L 4 in
+  Array.iter Endpoint.start h.eps;
+  run_for h 50;
+  let ms = List.init 3 (fun i -> join h i (g 9)) in
+  run_for h 50;
+  for k = 0 to 29 do
+    Dsim.Engine.schedule h.eng (Span.of_us (k * 90)) (fun () ->
+        send h (k mod 4) ~src_grp:(g 9) ~dst_grp:(g 9)
+          (Printf.sprintf "o%d" k))
+  done;
+  run_for h 200;
+  match ms with
+  | m0 :: rest ->
+      check int "all arrived" 30 (List.length (payloads m0));
+      List.iter
+        (fun m ->
+          check (Alcotest.list Alcotest.string) "same order" (payloads m0)
+            (payloads m))
+        rest
+  | [] -> assert false
+
+let test_crash_prunes_group () =
+  let h = make_harness 3 in
+  Array.iter Endpoint.start h.eps;
+  run_for h 50;
+  let m0 = join h 0 (g 5) in
+  let _m1 = join h 1 (g 5) in
+  run_for h 50;
+  Endpoint.crash h.eps.(1);
+  run_for h 100;
+  (match m0.views with
+  | v :: _ ->
+      check int "pruned to 1" 1 (Gcs.View.size v);
+      check (Alcotest.option int) "survivor rank 0" (Some 0)
+        (Gcs.View.rank_of v (n 0))
+  | [] -> Alcotest.fail "no view");
+  (* rank promotion: survivor is now rank 0 = primary *)
+  check (Alcotest.list int) "membership" [ 0 ]
+    (List.map Nid.to_int (Endpoint.members_of h.eps.(0) (g 5)))
+
+let test_leave_group () =
+  let h = make_harness 2 in
+  Array.iter Endpoint.start h.eps;
+  run_for h 50;
+  let m0 = join h 0 (g 6) and _m1 = join h 1 (g 6) in
+  run_for h 50;
+  Endpoint.leave_group h.eps.(1) (g 6);
+  run_for h 50;
+  check (Alcotest.list int) "left" [ 0 ]
+    (List.map Nid.to_int (Endpoint.members_of h.eps.(0) (g 6)));
+  (match m0.views with
+  | v :: _ -> check int "view updated" 1 (Gcs.View.size v)
+  | [] -> Alcotest.fail "no view");
+  (* messages no longer delivered to the departed member *)
+  send h 0 ~src_grp:(g 6) ~dst_grp:(g 6) "post-leave";
+  run_for h 50;
+  check bool "remaining member gets it" true
+    (List.mem "post-leave" (payloads m0))
+
+let test_late_joiner_gets_snapshot () =
+  let eng = Dsim.Engine.create () in
+  let net =
+    Netsim.Network.create eng
+      {
+        Netsim.Network.latency = Netsim.Latency.Constant (Span.of_us 26);
+        loss = 0.;
+      }
+  in
+  let eps =
+    Array.init 3 (fun i ->
+        Endpoint.create eng net ~me:(n i) ~bootstrap:(i < 2) ())
+  in
+  let h = { eng; net; eps } in
+  Endpoint.start eps.(0);
+  Endpoint.start eps.(1);
+  run_for h 50;
+  let _m0 = join h 0 (g 8) in
+  run_for h 50;
+  (* node 2 starts late, with no knowledge of groups *)
+  Endpoint.start eps.(2);
+  run_for h 100;
+  check (Alcotest.list int) "snapshot adopted" [ 0 ]
+    (List.map Nid.to_int (Endpoint.members_of eps.(2) (g 8)));
+  (* ... and it can then join the group itself *)
+  let m2 = join h 2 (g 8) in
+  run_for h 100;
+  check (Alcotest.list int) "joined after snapshot" [ 0; 2 ]
+    (List.map Nid.to_int (Endpoint.members_of eps.(0) (g 8)));
+  send h 0 ~src_grp:(g 8) ~dst_grp:(g 8) "to-both";
+  run_for h 50;
+  check bool "late joiner receives" true (List.mem "to-both" (payloads m2))
+
+let test_primary_component_on_partition () =
+  let h = make_harness 5 in
+  Array.iter Endpoint.start h.eps;
+  run_for h 50;
+  check bool "initially primary" true
+    (Endpoint.is_primary_component h.eps.(0));
+  Netsim.Network.partition h.net
+    [ [ n 0; n 1; n 2 ]; [ n 3; n 4 ] ];
+  run_for h 150;
+  check bool "majority side primary" true
+    (Endpoint.is_primary_component h.eps.(0));
+  check bool "minority side not primary" false
+    (Endpoint.is_primary_component h.eps.(3));
+  Netsim.Network.heal h.net;
+  run_for h 200;
+  for i = 0 to 4 do
+    check bool "primary after remerge" true
+      (Endpoint.is_primary_component h.eps.(i))
+  done
+
+let test_view_reports_primary_flag () =
+  let h = make_harness 3 in
+  Array.iter Endpoint.start h.eps;
+  run_for h 50;
+  let m2 = join h 2 (g 11) in
+  run_for h 50;
+  Netsim.Network.partition h.net [ [ n 0; n 1 ]; [ n 2 ] ];
+  run_for h 150;
+  match m2.views with
+  | v :: _ -> check bool "minority view flagged" false v.Gcs.View.primary
+  | [] -> Alcotest.fail "no view after partition"
+
+let suites =
+  [
+    ( "gcs.groups",
+      [
+        Alcotest.test_case "join and view" `Quick test_group_join_and_view;
+        Alcotest.test_case "ranks by join order" `Quick
+          test_ranks_follow_join_order;
+        Alcotest.test_case "members-only delivery" `Quick
+          test_delivery_to_members_only;
+        Alcotest.test_case "self delivery" `Quick
+          test_sender_receives_own_multicast;
+        Alcotest.test_case "total order" `Quick test_total_order_within_group;
+        Alcotest.test_case "crash prunes" `Quick test_crash_prunes_group;
+        Alcotest.test_case "leave" `Quick test_leave_group;
+        Alcotest.test_case "late joiner snapshot" `Quick
+          test_late_joiner_gets_snapshot;
+      ] );
+    ( "gcs.primary",
+      [
+        Alcotest.test_case "partition" `Quick
+          test_primary_component_on_partition;
+        Alcotest.test_case "view primary flag" `Quick
+          test_view_reports_primary_flag;
+      ] );
+  ]

@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "cts_repro"
+    (Test_dsim.suites @ Test_stats.suites @ Test_clock.suites
+   @ Test_netsim.suites @ Test_totem.suites @ Test_gcs.suites
+   @ Test_cts.suites @ Test_repl.suites @ Test_causal.suites
+   @ Test_rpc.suites @ Test_faults.suites @ Test_totem2.suites
+   @ Test_scenario.suites @ Test_interpose.suites @ Test_units.suites @ Test_props.suites)

@@ -1,0 +1,252 @@
+(* Tests for the simulated network. *)
+
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+module Net = Netsim.Network
+module Nid = Netsim.Node_id
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let n = Nid.of_int
+
+let constant_net eng us =
+  Net.create eng { Net.latency = Netsim.Latency.Constant (Span.of_us us); loss = 0. }
+
+let test_unicast_delivery () =
+  let eng = Dsim.Engine.create () in
+  let net = constant_net eng 10 in
+  let got = ref [] in
+  Net.attach net (n 0) (fun ~src:_ _ -> ());
+  Net.attach net (n 1) (fun ~src msg ->
+      got := (Nid.to_int src, msg, Time.to_us (Dsim.Engine.now eng)) :: !got);
+  Net.send net ~src:(n 0) ~dst:(n 1) "hello";
+  Dsim.Engine.run eng;
+  match !got with
+  | [ (0, "hello", 10) ] -> ()
+  | _ -> Alcotest.fail "unexpected delivery"
+
+let test_broadcast_excludes_sender () =
+  let eng = Dsim.Engine.create () in
+  let net = constant_net eng 5 in
+  let counts = Array.make 4 0 in
+  for i = 0 to 3 do
+    Net.attach net (n i) (fun ~src:_ _ -> counts.(i) <- counts.(i) + 1)
+  done;
+  Net.broadcast net ~src:(n 2) "x";
+  Dsim.Engine.run eng;
+  check (Alcotest.list int) "everyone but sender" [ 1; 1; 0; 1 ]
+    (Array.to_list counts)
+
+let test_loopback_unicast_allowed () =
+  let eng = Dsim.Engine.create () in
+  let net = constant_net eng 5 in
+  let got = ref 0 in
+  Net.attach net (n 0) (fun ~src:_ _ -> incr got);
+  Net.send net ~src:(n 0) ~dst:(n 0) ();
+  Dsim.Engine.run eng;
+  check int "self-send delivered" 1 !got
+
+let test_detach_drops_in_flight () =
+  let eng = Dsim.Engine.create () in
+  let net = constant_net eng 10 in
+  let got = ref 0 in
+  Net.attach net (n 0) (fun ~src:_ _ -> ());
+  Net.attach net (n 1) (fun ~src:_ _ -> incr got);
+  Net.send net ~src:(n 0) ~dst:(n 1) ();
+  Dsim.Engine.schedule eng (Span.of_us 5) (fun () -> Net.detach net (n 1));
+  Dsim.Engine.run eng;
+  check int "dropped at crashed node" 0 !got;
+  check int "accounted as dropped" 1 (Net.packets_dropped net)
+
+let test_partition_blocks_cross_traffic () =
+  let eng = Dsim.Engine.create () in
+  let net = constant_net eng 5 in
+  let got = Array.make 4 0 in
+  for i = 0 to 3 do
+    Net.attach net (n i) (fun ~src:_ _ -> got.(i) <- got.(i) + 1)
+  done;
+  Net.partition net [ [ n 0; n 1 ]; [ n 2; n 3 ] ];
+  Net.broadcast net ~src:(n 0) ();
+  Net.send net ~src:(n 2) ~dst:(n 3) ();
+  Net.send net ~src:(n 2) ~dst:(n 0) ();
+  Dsim.Engine.run eng;
+  check (Alcotest.list int) "partition respected" [ 0; 1; 0; 1 ]
+    (Array.to_list got);
+  Net.heal net;
+  Net.send net ~src:(n 2) ~dst:(n 0) ();
+  Dsim.Engine.run eng;
+  check int "healed" 1 got.(0)
+
+let test_loss_drops_packets () =
+  let eng = Dsim.Engine.create ~seed:5L () in
+  let net =
+    Net.create eng
+      { Net.latency = Netsim.Latency.Constant (Span.of_us 1); loss = 0.5 }
+  in
+  let got = ref 0 in
+  Net.attach net (n 0) (fun ~src:_ _ -> ());
+  Net.attach net (n 1) (fun ~src:_ _ -> incr got);
+  for _ = 1 to 1000 do
+    Net.send net ~src:(n 0) ~dst:(n 1) ()
+  done;
+  Dsim.Engine.run eng;
+  check bool "roughly half dropped" true (!got > 400 && !got < 600);
+  check int "drop accounting" (1000 - !got) (Net.packets_dropped net)
+
+let test_stats_counters () =
+  let eng = Dsim.Engine.create () in
+  let net = constant_net eng 1 in
+  Net.attach net (n 0) (fun ~src:_ _ -> ());
+  Net.attach net (n 1) (fun ~src:_ _ -> ());
+  Net.send net ~src:(n 0) ~dst:(n 1) ();
+  Net.broadcast net ~src:(n 0) ();
+  Dsim.Engine.run eng;
+  check int "sent" 2 (Net.stats net ~sent:true (n 0));
+  check int "delivered" 2 (Net.stats net ~sent:false (n 1))
+
+let test_double_attach_rejected () =
+  let eng = Dsim.Engine.create () in
+  let net = constant_net eng 1 in
+  Net.attach net (n 0) (fun ~src:_ _ -> ());
+  Alcotest.check_raises "double attach"
+    (Invalid_argument "Network.attach: n0 already attached") (fun () ->
+      Net.attach net (n 0) (fun ~src:_ _ -> ()))
+
+let test_latency_models_positive () =
+  let eng = Dsim.Engine.create ~seed:3L () in
+  let rng = Dsim.Engine.rng eng in
+  let models =
+    [
+      Netsim.Latency.Constant (Span.of_us 10);
+      Netsim.Latency.Uniform { lo = Span.of_us 1; hi = Span.of_us 50 };
+      Netsim.Latency.Gaussian { mu = Span.of_us 20; sigma = Span.of_us 30 };
+      Netsim.Latency.calibrated ~wire:Netsim.Latency.default_wire;
+    ]
+  in
+  List.iter
+    (fun m ->
+      for _ = 1 to 500 do
+        let l = Netsim.Latency.sample rng m in
+        if Span.(l < Span.of_us 1) then Alcotest.fail "latency below floor"
+      done)
+    models
+
+let test_calibrated_peak_near_wire () =
+  let eng = Dsim.Engine.create ~seed:9L () in
+  let rng = Dsim.Engine.rng eng in
+  let model = Netsim.Latency.calibrated ~wire:(Span.of_us 51) in
+  let h = Stats.Histogram.create ~bin_width:4. () in
+  for _ = 1 to 20_000 do
+    Stats.Histogram.add h
+      (float_of_int (Span.to_us (Netsim.Latency.sample rng model)))
+  done;
+  let peak = Stats.Histogram.bin_mid h (Stats.Histogram.mode_bin h) in
+  check bool "peak density near 51us" true (peak > 40. && peak < 62.)
+
+let prop_broadcast_reaches_all_connected =
+  QCheck.Test.make ~count:50 ~name:"broadcast reaches every attached node"
+    QCheck.(int_range 2 20)
+    (fun nodes ->
+      let eng = Dsim.Engine.create () in
+      let net =
+        Net.create eng
+          { Net.latency = Netsim.Latency.Constant (Span.of_us 1); loss = 0. }
+      in
+      let got = Array.make nodes 0 in
+      for i = 0 to nodes - 1 do
+        Net.attach net (n i) (fun ~src:_ _ -> got.(i) <- got.(i) + 1)
+      done;
+      Net.broadcast net ~src:(n 0) ();
+      Dsim.Engine.run eng;
+      got.(0) = 0
+      && Array.for_all (( = ) 1) (Array.sub got 1 (nodes - 1)))
+
+let test_trace_records_events () =
+  let eng = Dsim.Engine.create () in
+  let net = constant_net eng 5 in
+  let tr = Netsim.Trace.create () in
+  Net.attach_trace net tr;
+  Net.attach net (n 0) (fun ~src:_ _ -> ());
+  Net.attach net (n 1) (fun ~src:_ _ -> ());
+  Net.send net ~src:(n 0) ~dst:(n 1) "x";
+  Net.broadcast net ~src:(n 1) "y";
+  Dsim.Engine.run eng;
+  let es = Netsim.Trace.entries tr in
+  (* 2 sends + 2 deliveries *)
+  check int "events recorded" 4 (List.length es);
+  let sends =
+    List.filter
+      (fun (e : string Netsim.Trace.entry) ->
+        match e.ev with Netsim.Trace.Sent _ -> true | _ -> false)
+      es
+  in
+  check int "two sends" 2 (List.length sends);
+  check bool "timestamps ordered" true
+    (let rec mono = function
+       | (a : string Netsim.Trace.entry) :: (b :: _ as rest) ->
+           Time.compare a.at b.at <= 0 && mono rest
+       | [ _ ] | [] -> true
+     in
+     mono es)
+
+let test_trace_records_drops () =
+  let eng = Dsim.Engine.create () in
+  let net = constant_net eng 5 in
+  let tr = Netsim.Trace.create () in
+  Net.attach_trace net tr;
+  Net.attach net (n 0) (fun ~src:_ _ -> ());
+  Net.attach net (n 1) (fun ~src:_ _ -> ());
+  Net.partition net [ [ n 0 ]; [ n 1 ] ];
+  Net.send net ~src:(n 0) ~dst:(n 1) "x";
+  Dsim.Engine.run eng;
+  let dropped =
+    List.filter
+      (fun (e : string Netsim.Trace.entry) ->
+        match e.ev with
+        | Netsim.Trace.Dropped { reason = Netsim.Trace.Partitioned; _ } -> true
+        | _ -> false)
+      (Netsim.Trace.entries tr)
+  in
+  check int "partition drop traced" 1 (List.length dropped)
+
+let test_trace_ring_buffer_bounded () =
+  let tr = Netsim.Trace.create ~capacity:8 () in
+  for i = 1 to 20 do
+    Netsim.Trace.record tr ~at:(Time.of_us i)
+      (Netsim.Trace.Sent { src = n 0; dst = None; payload = i })
+  done;
+  check int "bounded" 8 (Netsim.Trace.length tr);
+  check int "total counted" 20 (Netsim.Trace.total_recorded tr);
+  (match Netsim.Trace.entries tr with
+  | first :: _ -> check int "oldest kept is 13" 13 (Time.to_us first.at)
+  | [] -> Alcotest.fail "empty");
+  Netsim.Trace.clear tr;
+  check int "cleared" 0 (Netsim.Trace.length tr)
+
+let suites =
+  [
+    ( "netsim",
+      [
+        Alcotest.test_case "unicast" `Quick test_unicast_delivery;
+        Alcotest.test_case "broadcast" `Quick test_broadcast_excludes_sender;
+        Alcotest.test_case "loopback" `Quick test_loopback_unicast_allowed;
+        Alcotest.test_case "detach" `Quick test_detach_drops_in_flight;
+        Alcotest.test_case "partition" `Quick
+          test_partition_blocks_cross_traffic;
+        Alcotest.test_case "loss" `Quick test_loss_drops_packets;
+        Alcotest.test_case "stats" `Quick test_stats_counters;
+        Alcotest.test_case "double attach" `Quick test_double_attach_rejected;
+        Alcotest.test_case "latency positive" `Quick
+          test_latency_models_positive;
+        Alcotest.test_case "calibrated peak" `Quick
+          test_calibrated_peak_near_wire;
+        QCheck_alcotest.to_alcotest prop_broadcast_reaches_all_connected;
+      ] );
+    ( "netsim.trace",
+      [
+        Alcotest.test_case "records events" `Quick test_trace_records_events;
+        Alcotest.test_case "records drops" `Quick test_trace_records_drops;
+        Alcotest.test_case "ring buffer" `Quick test_trace_ring_buffer_bounded;
+      ] );
+  ]

@@ -1,0 +1,216 @@
+(* Adversarial property tests across the stack: random crash schedules,
+   failovers in the middle of CCS rounds, and saturating load.  These are
+   the invariants the paper's design rests on:
+
+   - agreement: surviving replicas deliver identical message sequences and
+     identical group clock sequences, whatever the fault schedule;
+   - monotonicity: the group clock never runs backwards at any replica;
+   - liveness: as long as one replica survives, clock reads complete. *)
+
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+module Nid = Netsim.Node_id
+module Cluster = Scenario.Cluster
+module Replica = Repl.Replica
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Totem: agreement under random crash schedules                       *)
+
+let prop_totem_agreement_under_crashes =
+  QCheck.Test.make ~count:12
+    ~name:"totem: survivors agree under random crash schedules"
+    QCheck.(
+      triple (int_range 1 10_000) (int_range 3 5)
+        (list_of_size (Gen.int_range 0 2) (int_range 200 2_000)))
+    (fun (seed, nodes, crash_times_us) ->
+      let eng = Dsim.Engine.create ~seed:(Int64.of_int seed) () in
+      let net =
+        Netsim.Network.create eng
+          {
+            Netsim.Network.latency = Netsim.Latency.Constant (Span.of_us 26);
+            loss = 0.;
+          }
+      in
+      let delivered = Array.init nodes (fun _ -> ref []) in
+      let ring_nodes =
+        Array.init nodes (fun i ->
+            Totem.Node.create eng net ~me:(Nid.of_int i)
+              ~handler:(fun ev ->
+                match ev with
+                | Totem.Node.Deliver { payload; _ } ->
+                    delivered.(i) := payload :: !(delivered.(i))
+                | Totem.Node.View _ | Totem.Node.Blocked -> ())
+              ())
+      in
+      Array.iter Totem.Node.start ring_nodes;
+      Dsim.Engine.run ~until:(Time.of_ms 50) eng;
+      (* steady traffic from every live node *)
+      for k = 0 to 39 do
+        Dsim.Engine.schedule eng
+          (Span.of_us (k * 80))
+          (fun () ->
+            let sender = ring_nodes.(k mod nodes) in
+            try Totem.Node.multicast sender (string_of_int k)
+            with Invalid_argument _ -> ())
+      done;
+      (* crash victims at random times; never crash node 0 so at least one
+         survivor is guaranteed *)
+      List.iteri
+        (fun idx at ->
+          let victim = 1 + (idx mod (nodes - 1)) in
+          Dsim.Engine.schedule eng (Span.of_us at) (fun () ->
+              Totem.Node.crash ring_nodes.(victim)))
+        crash_times_us;
+      Dsim.Engine.run
+        ~until:(Time.add (Dsim.Engine.now eng) (Span.of_ms 400))
+        eng;
+      (* every surviving pair agrees on a common prefix = the shorter one *)
+      let survivors =
+        List.filter
+          (fun i -> Totem.Node.is_operational ring_nodes.(i))
+          (List.init nodes Fun.id)
+      in
+      let seqs =
+        List.map (fun i -> List.rev !(delivered.(i))) survivors
+      in
+      let rec prefix a b =
+        match (a, b) with
+        | [], _ | _, [] -> true
+        | x :: a, y :: b -> x = y && prefix a b
+      in
+      List.for_all
+        (fun s -> List.for_all (fun s' -> prefix s s') seqs)
+        seqs)
+
+(* ------------------------------------------------------------------ *)
+(* CTS: monotone and agreed group clock under failover mid-round       *)
+
+let prop_cts_monotone_under_failover =
+  QCheck.Test.make ~count:8
+    ~name:"cts: group clock monotone and agreed under mid-round failover"
+    QCheck.(pair (int_range 1 10_000) (int_range 500 3_000))
+    (fun (seed, crash_at_us) ->
+      let clock_config i =
+        {
+          Clock.Hwclock.default_config with
+          offset = Span.of_ms (-5 * i);
+          drift_ppm = 10. *. float_of_int i;
+        }
+      in
+      let cluster =
+        Cluster.create ~seed:(Int64.of_int seed) ~clock_config ~nodes:4 ()
+      in
+      Cluster.start_all cluster;
+      Cluster.run_until cluster (fun () ->
+          Cluster.ring_stable cluster ~on_nodes:[ 0; 1; 2; 3 ]);
+      let config =
+        {
+          Replica.default_config with
+          style = Replica.Semi_active;
+          initial_members = List.map Nid.of_int [ 1; 2; 3 ];
+        }
+      in
+      let replicas =
+        List.map
+          (fun node ->
+            let r =
+              Replica.create cluster.Cluster.eng
+                ~endpoint:cluster.Cluster.nodes.(node).Cluster.endpoint
+                ~group:cluster.Cluster.server_group
+                ~clock:cluster.Cluster.nodes.(node).Cluster.clock ~config
+                ~app:(Scenario.Apps.time_server cluster ~node ())
+                ()
+            in
+            Cluster.run_for cluster (Span.of_ms 2);
+            r)
+          [ 1; 2; 3 ]
+      in
+      let client =
+        Rpc.Client.create cluster.Cluster.eng
+          ~endpoint:cluster.Cluster.nodes.(0).Cluster.endpoint
+          ~my_group:cluster.Cluster.client_group
+          ~server_group:cluster.Cluster.server_group ()
+      in
+      Cluster.run_until cluster (fun () ->
+          List.length
+            (Gcs.Endpoint.members_of
+               cluster.Cluster.nodes.(0).Cluster.endpoint
+               cluster.Cluster.server_group)
+          = 3);
+      (* crash the primary at a random instant, possibly mid-round *)
+      let primary = List.find Replica.is_primary replicas in
+      Dsim.Engine.schedule cluster.Cluster.eng (Span.of_us crash_at_us)
+        (fun () -> Replica.crash primary);
+      let ok = ref true in
+      let finished = ref false in
+      Dsim.Fiber.spawn cluster.Cluster.eng (fun () ->
+          let prev = ref min_int in
+          for _ = 1 to 12 do
+            let v =
+              int_of_string
+                (Rpc.Client.invoke ~timeout:(Span.of_ms 100) ~retries:3
+                   client ~op:"gettimeofday" ~arg:"")
+            in
+            if v < !prev then ok := false;
+            prev := v
+          done;
+          finished := true);
+      Cluster.run_until ~limit:(Span.of_sec 30) cluster (fun () -> !finished);
+      Cluster.run_for cluster (Span.of_ms 20);
+      (* no surviving replica recorded a rollback either *)
+      List.iter
+        (fun r ->
+          if r != primary then
+            if
+              (Cts.Service.stats (Replica.service r)).Cts.Service.rollbacks
+              > 0
+            then ok := false)
+        replicas;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Flow control: saturating load drains without unbounded queues       *)
+
+let test_saturating_load_drains () =
+  let eng = Dsim.Engine.create ~seed:13L () in
+  let net =
+    Netsim.Network.create eng
+      {
+        Netsim.Network.latency = Netsim.Latency.Constant (Span.of_us 26);
+        loss = 0.;
+      }
+  in
+  let total = ref 0 in
+  let nodes =
+    Array.init 4 (fun i ->
+        Totem.Node.create eng net ~me:(Nid.of_int i)
+          ~handler:(fun ev ->
+            match ev with
+            | Totem.Node.Deliver _ -> if i = 0 then incr total
+            | Totem.Node.View _ | Totem.Node.Blocked -> ())
+          ())
+  in
+  Array.iter Totem.Node.start nodes;
+  Dsim.Engine.run ~until:(Time.of_ms 50) eng;
+  (* a burst far beyond one rotation's budget from every node *)
+  for k = 1 to 1_000 do
+    Totem.Node.multicast nodes.(k mod 4) (string_of_int k)
+  done;
+  Dsim.Engine.run ~until:(Time.add (Dsim.Engine.now eng) (Span.of_sec 1)) eng;
+  check bool "all 1000 delivered" true (!total = 1_000);
+  check bool "queues drained" true
+    (Array.for_all (fun n -> Totem.Node.pending n = 0) nodes)
+
+let suites =
+  [
+    ( "properties",
+      [
+        QCheck_alcotest.to_alcotest prop_totem_agreement_under_crashes;
+        QCheck_alcotest.to_alcotest prop_cts_monotone_under_failover;
+        Alcotest.test_case "saturating load" `Quick
+          test_saturating_load_drains;
+      ] );
+  ]

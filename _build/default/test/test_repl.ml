@@ -1,0 +1,344 @@
+(* Tests for the replication infrastructure: RPC, the three replication
+   styles, failover, checkpoints, and the §3.2 state transfer with the
+   special CCS round. *)
+
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+module Nid = Netsim.Node_id
+module Cluster = Scenario.Cluster
+module Replica = Repl.Replica
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let str = Alcotest.string
+
+type rig = {
+  cluster : Cluster.t;
+  replicas : Replica.t array;
+  client : Rpc.Client.t;
+}
+
+(* A counter app: "incr" bumps and returns the counter, "get" reads it,
+   "stamp" returns "<counter>@<group clock ns>". *)
+let counter_app service =
+  let counter = ref 0 in
+  {
+    Replica.handle =
+      (fun ~thread ~op ~arg ->
+        match op with
+        | "incr" ->
+            incr counter;
+            string_of_int !counter
+        | "get" -> string_of_int !counter
+        | "stamp" ->
+            incr counter;
+            Printf.sprintf "%d@%d" !counter
+              (Time.to_ns (Cts.Service.gettimeofday service ~thread))
+        | _ -> arg);
+    snapshot = (fun () -> string_of_int !counter);
+    restore = (fun s -> counter := int_of_string s);
+  }
+
+let make ?(seed = 1L) ?(replicas = 3) ?(style = Replica.Active)
+    ?(checkpoint_interval = 5) ?(offset_tracking = true) ?clock_config () =
+  let cluster =
+    Cluster.create ~seed ?clock_config ~nodes:(replicas + 1) ()
+  in
+  Cluster.start_all cluster;
+  Cluster.run_until cluster (fun () ->
+      Cluster.ring_stable cluster ~on_nodes:(List.init (replicas + 1) Fun.id));
+  let config =
+    {
+      Replica.default_config with
+      style;
+      checkpoint_interval;
+      offset_tracking;
+      initial_members = List.init replicas (fun k -> Nid.of_int (k + 1));
+    }
+  in
+  let reps =
+    Array.init replicas (fun k ->
+        let node = k + 1 in
+        let r =
+          Replica.create cluster.Cluster.eng
+            ~endpoint:cluster.Cluster.nodes.(node).Cluster.endpoint
+            ~group:cluster.Cluster.server_group
+            ~clock:cluster.Cluster.nodes.(node).Cluster.clock ~config
+            ~app:counter_app ()
+        in
+        (* join order (and hence primary rank) follows node order *)
+        Cluster.run_for cluster (Span.of_ms 2);
+        r)
+  in
+  let client =
+    Rpc.Client.create cluster.Cluster.eng
+      ~endpoint:cluster.Cluster.nodes.(0).Cluster.endpoint
+      ~my_group:cluster.Cluster.client_group
+      ~server_group:cluster.Cluster.server_group ()
+  in
+  Cluster.run_until cluster (fun () ->
+      List.length
+        (Gcs.Endpoint.members_of cluster.Cluster.nodes.(0).Cluster.endpoint
+           cluster.Cluster.server_group)
+      = replicas);
+  { cluster; replicas = reps; client }
+
+let run_client rig f =
+  let finished = ref false in
+  Dsim.Fiber.spawn rig.cluster.Cluster.eng (fun () ->
+      f rig.client;
+      finished := true);
+  Cluster.run_until ~limit:(Span.of_sec 60) rig.cluster (fun () -> !finished);
+  (* let trailing replies and slower replicas settle before assertions *)
+  Cluster.run_for rig.cluster (Span.of_ms 20)
+
+(* ------------------------------------------------------------------ *)
+
+let test_active_basic_rpc () =
+  let rig = make () in
+  run_client rig (fun client ->
+      check str "first" "1" (Rpc.Client.invoke client ~op:"incr" ~arg:"");
+      check str "second" "2" (Rpc.Client.invoke client ~op:"incr" ~arg:"");
+      check str "echo" "hello" (Rpc.Client.invoke client ~op:"echo" ~arg:"hello"));
+  (* all replicas processed everything *)
+  Array.iter
+    (fun r -> check int "processed" 3 (Replica.processed r))
+    rig.replicas;
+  (* active replication: 3 replicas reply, client keeps the first *)
+  check int "duplicate replies suppressed" 6
+    (Rpc.Client.duplicate_replies rig.client)
+
+let test_active_state_identical () =
+  let rig = make ~seed:3L () in
+  run_client rig (fun client ->
+      for _ = 1 to 20 do
+        ignore (Rpc.Client.invoke client ~op:"incr" ~arg:"" : string)
+      done);
+  Array.iter
+    (fun r -> check str "state" "20" (Replica.snapshot r))
+    rig.replicas
+
+let test_client_timeout () =
+  let rig = make () in
+  (* crash everything: the invocation must time out *)
+  Array.iter Replica.crash rig.replicas;
+  run_client rig (fun client ->
+      Alcotest.check_raises "timeout" Rpc.Client.Timeout (fun () ->
+          ignore
+            (Rpc.Client.invoke ~timeout:(Span.of_ms 10) client ~op:"incr"
+               ~arg:""
+              : string)))
+
+let test_active_survives_crash () =
+  let rig = make () in
+  run_client rig (fun client ->
+      for _ = 1 to 5 do
+        ignore (Rpc.Client.invoke client ~op:"incr" ~arg:"" : string)
+      done;
+      Replica.crash rig.replicas.(0);
+      for i = 6 to 10 do
+        let r =
+          Rpc.Client.invoke ~timeout:(Span.of_ms 200) client ~op:"incr" ~arg:""
+        in
+        check str "continues counting" (string_of_int i) r
+      done);
+  check str "survivor state" "10" (Replica.snapshot rig.replicas.(1))
+
+let test_active_clock_reads_consistent () =
+  (* replicas with wildly different physical clocks still agree on stamps *)
+  let clock_config i =
+    { Clock.Hwclock.default_config with offset = Span.of_ms (17 * i) }
+  in
+  let rig = make ~clock_config () in
+  run_client rig (fun client ->
+      let s1 = Rpc.Client.invoke client ~op:"stamp" ~arg:"" in
+      let s2 = Rpc.Client.invoke client ~op:"stamp" ~arg:"" in
+      check bool "distinct stamps" true (s1 <> s2));
+  (* all replicas produced the same reply for each request: states match *)
+  let s0 = Replica.snapshot rig.replicas.(0) in
+  Array.iter (fun r -> check str "same state" s0 (Replica.snapshot r)) rig.replicas;
+  (* and no replica saw the clock go backwards *)
+  Array.iter
+    (fun r ->
+      check int "no rollbacks" 0
+        (Cts.Service.stats (Replica.service r)).Cts.Service.rollbacks)
+    rig.replicas
+
+let test_passive_only_primary_processes () =
+  let rig = make ~style:Replica.Passive () in
+  run_client rig (fun client ->
+      for _ = 1 to 4 do
+        ignore (Rpc.Client.invoke client ~op:"incr" ~arg:"" : string)
+      done);
+  let processed =
+    Array.to_list (Array.map Replica.processed rig.replicas)
+  in
+  let actives = List.filter (fun p -> p = 4) processed in
+  check int "exactly one replica processed" 1 (List.length actives)
+
+let test_passive_failover_replays_log () =
+  let rig = make ~style:Replica.Passive ~checkpoint_interval:3 () in
+  let primary =
+    Array.to_list rig.replicas |> List.find Replica.is_primary
+  in
+  run_client rig (fun client ->
+      for _ = 1 to 7 do
+        ignore (Rpc.Client.invoke client ~op:"incr" ~arg:"" : string)
+      done;
+      Replica.crash primary;
+      (* the new primary must replay the logged requests beyond the last
+         checkpoint before serving new ones *)
+      let r =
+        Rpc.Client.invoke ~timeout:(Span.of_ms 500) client ~op:"incr" ~arg:""
+      in
+      check str "no lost or duplicated increments" "8" r)
+
+let test_passive_failover_clock_monotone () =
+  let clock_config i =
+    { Clock.Hwclock.default_config with offset = Span.of_ms (-3 * i) }
+  in
+  let rig = make ~style:Replica.Passive ~clock_config () in
+  let primary =
+    Array.to_list rig.replicas |> List.find Replica.is_primary
+  in
+  let stamp_time s =
+    match String.split_on_char '@' s with
+    | [ _; ns ] -> Time.of_ns (int_of_string ns)
+    | _ -> Alcotest.fail "bad stamp"
+  in
+  run_client rig (fun client ->
+      let v1 = stamp_time (Rpc.Client.invoke client ~op:"stamp" ~arg:"") in
+      Replica.crash primary;
+      let v2 =
+        stamp_time
+          (Rpc.Client.invoke ~timeout:(Span.of_ms 500) client ~op:"stamp"
+             ~arg:"")
+      in
+      check bool "group clock did not roll back across failover" true
+        Time.(v2 >= v1))
+
+let test_passive_baseline_rolls_back () =
+  (* same scenario with the prior-work clock service: the promoted backup
+     answers with its own (much slower) physical clock *)
+  let clock_config i =
+    { Clock.Hwclock.default_config with offset = Span.of_ms (-200 * i) }
+  in
+  let rig =
+    make ~style:Replica.Passive ~offset_tracking:false ~clock_config ()
+  in
+  let primary =
+    Array.to_list rig.replicas |> List.find Replica.is_primary
+  in
+  let stamp_time s =
+    match String.split_on_char '@' s with
+    | [ _; ns ] -> Time.of_ns (int_of_string ns)
+    | _ -> Alcotest.fail "bad stamp"
+  in
+  run_client rig (fun client ->
+      let v1 = stamp_time (Rpc.Client.invoke client ~op:"stamp" ~arg:"") in
+      Replica.crash primary;
+      let v2 =
+        stamp_time
+          (Rpc.Client.invoke ~timeout:(Span.of_ms 500) client ~op:"stamp"
+             ~arg:"")
+      in
+      check bool "baseline rolled back" true Time.(v2 < v1))
+
+let test_semi_active_all_process_primary_replies () =
+  let rig = make ~style:Replica.Semi_active () in
+  run_client rig (fun client ->
+      for _ = 1 to 6 do
+        ignore (Rpc.Client.invoke client ~op:"incr" ~arg:"" : string)
+      done);
+  Array.iter
+    (fun r -> check int "all processed" 6 (Replica.processed r))
+    rig.replicas;
+  check int "only primary replied (no duplicates)" 0
+    (Rpc.Client.duplicate_replies rig.client)
+
+let test_semi_active_failover () =
+  let clock_config i =
+    { Clock.Hwclock.default_config with offset = Span.of_ms (-5 * i) }
+  in
+  let rig = make ~style:Replica.Semi_active ~clock_config () in
+  let primary =
+    Array.to_list rig.replicas |> List.find Replica.is_primary
+  in
+  run_client rig (fun client ->
+      let s1 = Rpc.Client.invoke client ~op:"stamp" ~arg:"" in
+      Replica.crash primary;
+      let s2 =
+        Rpc.Client.invoke ~timeout:(Span.of_ms 500) client ~op:"stamp" ~arg:""
+      in
+      let t s =
+        match String.split_on_char '@' s with
+        | [ c; ns ] -> (int_of_string c, int_of_string ns)
+        | _ -> Alcotest.fail "bad stamp"
+      in
+      let c1, n1 = t s1 and c2, n2 = t s2 in
+      check int "counter continues" (c1 + 1) c2;
+      check bool "clock monotone" true (n2 >= n1))
+
+let test_state_transfer_new_replica () =
+  (* A3: add a replica to a running active group (§3.2). *)
+  let r = Scenario.Experiments.recovery ~seed:4L ~readings:30 () in
+  check bool "joiner clock initialized" true r.joiner_initialized;
+  check bool "joiner state matches group" true r.joiner_state_matches;
+  check bool "group clock monotone across join" true r.group_clock_monotone
+
+let test_state_transfer_counts () =
+  let r = Scenario.Experiments.recovery ~seed:9L ~readings:20 () in
+  check bool "existing replicas had processed before join" true
+    (Array.for_all (fun c -> c >= 10) r.pre_join_readings)
+
+let prop_active_counter_linearizable =
+  QCheck.Test.make ~count:10 ~name:"counter increments sequentially, any seed"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let rig = make ~seed:(Int64.of_int seed) () in
+      let ok = ref true in
+      run_client rig (fun client ->
+          for i = 1 to 12 do
+            let r = Rpc.Client.invoke client ~op:"incr" ~arg:"" in
+            if r <> string_of_int i then ok := false
+          done);
+      !ok)
+
+let suites =
+  [
+    ( "repl.active",
+      [
+        Alcotest.test_case "basic rpc" `Quick test_active_basic_rpc;
+        Alcotest.test_case "state identical" `Quick test_active_state_identical;
+        Alcotest.test_case "client timeout" `Quick test_client_timeout;
+        Alcotest.test_case "survives crash" `Quick test_active_survives_crash;
+        Alcotest.test_case "consistent stamps" `Quick
+          test_active_clock_reads_consistent;
+        QCheck_alcotest.to_alcotest prop_active_counter_linearizable;
+      ] );
+    ( "repl.passive",
+      [
+        Alcotest.test_case "primary processes" `Quick
+          test_passive_only_primary_processes;
+        Alcotest.test_case "failover replay" `Quick
+          test_passive_failover_replays_log;
+        Alcotest.test_case "failover clock monotone" `Quick
+          test_passive_failover_clock_monotone;
+        Alcotest.test_case "baseline rolls back" `Quick
+          test_passive_baseline_rolls_back;
+      ] );
+    ( "repl.semi_active",
+      [
+        Alcotest.test_case "all process, primary replies" `Quick
+          test_semi_active_all_process_primary_replies;
+        Alcotest.test_case "failover" `Quick test_semi_active_failover;
+      ] );
+    ( "repl.recovery",
+      [
+        Alcotest.test_case "state transfer" `Quick
+          test_state_transfer_new_replica;
+        Alcotest.test_case "pre-join progress" `Quick
+          test_state_transfer_counts;
+      ] );
+  ]

@@ -1,0 +1,178 @@
+(* Tests for the RPC layer: invocation, correlation, duplicate-reply
+   suppression, timeouts, timed invocations and causal timestamps. *)
+
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+module Nid = Netsim.Node_id
+module Cluster = Scenario.Cluster
+module Replica = Repl.Replica
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let str = Alcotest.string
+
+type rig = {
+  cluster : Cluster.t;
+  replicas : Replica.t array;
+  client : Rpc.Client.t;
+}
+
+let echo_app _service =
+  {
+    Replica.handle = (fun ~thread:_ ~op ~arg -> op ^ ":" ^ arg);
+    snapshot = (fun () -> "");
+    restore = ignore;
+  }
+
+let make ?(seed = 1L) ?(replicas = 2) () =
+  let cluster = Cluster.create ~seed ~nodes:(replicas + 1) () in
+  Cluster.start_all cluster;
+  Cluster.run_until cluster (fun () ->
+      Cluster.ring_stable cluster ~on_nodes:(List.init (replicas + 1) Fun.id));
+  let config =
+    {
+      Replica.default_config with
+      initial_members = List.init replicas (fun k -> Nid.of_int (k + 1));
+    }
+  in
+  let reps =
+    Array.init replicas (fun k ->
+        Replica.create cluster.Cluster.eng
+          ~endpoint:cluster.Cluster.nodes.(k + 1).Cluster.endpoint
+          ~group:cluster.Cluster.server_group
+          ~clock:cluster.Cluster.nodes.(k + 1).Cluster.clock ~config
+          ~app:echo_app ())
+  in
+  let client =
+    Rpc.Client.create cluster.Cluster.eng
+      ~endpoint:cluster.Cluster.nodes.(0).Cluster.endpoint
+      ~my_group:cluster.Cluster.client_group
+      ~server_group:cluster.Cluster.server_group ()
+  in
+  Cluster.run_until cluster (fun () ->
+      List.length
+        (Gcs.Endpoint.members_of cluster.Cluster.nodes.(0).Cluster.endpoint
+           cluster.Cluster.server_group)
+      = replicas);
+  { cluster; replicas = reps; client }
+
+let run_client rig f =
+  let finished = ref false in
+  Dsim.Fiber.spawn rig.cluster.Cluster.eng (fun () ->
+      f rig.client;
+      finished := true);
+  Cluster.run_until ~limit:(Span.of_sec 60) rig.cluster (fun () -> !finished);
+  Cluster.run_for rig.cluster (Span.of_ms 20)
+
+let test_echo_roundtrip () =
+  let rig = make () in
+  run_client rig (fun client ->
+      check str "payload echoed" "ping:hello"
+        (Rpc.Client.invoke client ~op:"ping" ~arg:"hello"))
+
+let test_requests_correlated () =
+  (* interleaved operations come back with the right results *)
+  let rig = make () in
+  run_client rig (fun client ->
+      for i = 1 to 10 do
+        let r =
+          Rpc.Client.invoke client ~op:"op" ~arg:(string_of_int i)
+        in
+        check str "matched" ("op:" ^ string_of_int i) r
+      done);
+  check int "10 requests sent" 10 (Rpc.Client.requests_sent rig.client)
+
+let test_duplicate_replies_counted () =
+  let rig = make ~replicas:3 () in
+  run_client rig (fun client ->
+      ignore (Rpc.Client.invoke client ~op:"x" ~arg:"" : string));
+  (* 3 active replicas reply; the client keeps the first *)
+  check int "two duplicates" 2 (Rpc.Client.duplicate_replies rig.client)
+
+let test_timeout_and_late_reply_discarded () =
+  let rig = make () in
+  run_client rig (fun client ->
+      (* a timeout far too short for the round trip *)
+      (try
+         ignore
+           (Rpc.Client.invoke ~timeout:(Span.of_us 10) client ~op:"slow"
+              ~arg:""
+             : string);
+         Alcotest.fail "expected timeout"
+       with Rpc.Client.Timeout -> ());
+      (* the late reply must not leak into the next invocation *)
+      let r =
+        Rpc.Client.invoke ~timeout:(Span.of_ms 100) client ~op:"next" ~arg:"1"
+      in
+      check str "next invocation unaffected" "next:1" r)
+
+let test_invoke_timed_measures_latency () =
+  let rig = make () in
+  run_client rig (fun client ->
+      let _, lat = Rpc.Client.invoke_timed client ~op:"t" ~arg:"" in
+      (* the simulated round trip through the ring takes hundreds of us *)
+      check bool "latency positive" true Span.(lat > Span.of_us 50);
+      check bool "latency sane" true Span.(lat < Span.of_ms 50))
+
+let test_no_timestamp_without_clock_reads () =
+  let rig = make () in
+  run_client rig (fun client ->
+      ignore (Rpc.Client.invoke client ~op:"x" ~arg:"" : string);
+      (* the echo app never reads the clock, so no timestamp circulates *)
+      check bool "no timestamp" true
+        (Rpc.Client.last_timestamp rig.client = None));
+  ignore rig.replicas
+
+let test_observe_timestamp_monotone () =
+  let eng = Dsim.Engine.create () in
+  let net = Netsim.Network.create eng Netsim.Network.default_config in
+  let ep = Gcs.Endpoint.create eng net ~me:(Nid.of_int 0) ~bootstrap:true () in
+  let client =
+    Rpc.Client.create eng ~endpoint:ep ~my_group:(Gcs.Group_id.of_int 1)
+      ~server_group:(Gcs.Group_id.of_int 2) ()
+  in
+  Rpc.Client.observe_timestamp client (Time.of_us 100);
+  Rpc.Client.observe_timestamp client (Time.of_us 50);
+  check bool "keeps the max" true
+    (Rpc.Client.last_timestamp client = Some (Time.of_us 100));
+  Rpc.Client.observe_timestamp client (Time.of_us 200);
+  check bool "advances" true
+    (Rpc.Client.last_timestamp client = Some (Time.of_us 200))
+
+let test_reply_header_swaps_groups () =
+  let req =
+    Rpc.Wire.request ~src_grp:(Gcs.Group_id.of_int 7)
+      ~dst_grp:(Gcs.Group_id.of_int 8) ~conn_id:42 ~msg_seq:5 ~op:"o" ~arg:"a"
+      ()
+  in
+  let rep =
+    Rpc.Wire.reply ~request_header:req.Gcs.Msg.header
+      ~replica:(Nid.of_int 3) ~result:"r" ()
+  in
+  check int "src is the server group" 8
+    (Gcs.Group_id.to_int rep.Gcs.Msg.header.src_grp);
+  check int "dst is the client group" 7
+    (Gcs.Group_id.to_int rep.Gcs.Msg.header.dst_grp);
+  check int "conn echoed" 42 rep.Gcs.Msg.header.conn_id;
+  check int "seq echoed" 5 rep.Gcs.Msg.header.msg_seq
+
+let suites =
+  [
+    ( "rpc",
+      [
+        Alcotest.test_case "echo roundtrip" `Quick test_echo_roundtrip;
+        Alcotest.test_case "correlation" `Quick test_requests_correlated;
+        Alcotest.test_case "duplicate replies" `Quick
+          test_duplicate_replies_counted;
+        Alcotest.test_case "timeout + late reply" `Quick
+          test_timeout_and_late_reply_discarded;
+        Alcotest.test_case "invoke_timed" `Quick
+          test_invoke_timed_measures_latency;
+        Alcotest.test_case "no spurious timestamps" `Quick
+          test_no_timestamp_without_clock_reads;
+        Alcotest.test_case "observe_timestamp" `Quick
+          test_observe_timestamp_monotone;
+        Alcotest.test_case "reply header" `Quick test_reply_header_swaps_groups;
+      ] );
+  ]

@@ -1,0 +1,132 @@
+(* Tests for histograms, summaries and regression. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let flt = Alcotest.float 1e-9
+let flt_loose = Alcotest.float 1e-6
+
+let test_histogram_basic () =
+  let h = Stats.Histogram.create ~bin_width:10. () in
+  List.iter (Stats.Histogram.add h) [ 1.; 5.; 15.; 15.; 25. ];
+  check int "count" 5 (Stats.Histogram.count h);
+  check int "bins" 3 (Stats.Histogram.bin_count h);
+  check int "bin0" 2 (Stats.Histogram.samples_in h 0);
+  check int "bin1" 2 (Stats.Histogram.samples_in h 1);
+  check int "bin2" 1 (Stats.Histogram.samples_in h 2);
+  check flt "density sums to 1" 1.
+    (List.fold_left (fun a (_, d) -> a +. d) 0. (Stats.Histogram.rows h));
+  check flt "bin mid" 5. (Stats.Histogram.bin_mid h 0)
+
+let test_histogram_clamps_below_lo () =
+  let h = Stats.Histogram.create ~lo:100. ~bin_width:10. () in
+  Stats.Histogram.add h 42.;
+  check int "clamped into first bin" 1 (Stats.Histogram.samples_in h 0)
+
+let test_histogram_mode () =
+  let h = Stats.Histogram.create ~bin_width:1. () in
+  List.iter (Stats.Histogram.add h) [ 0.5; 2.5; 2.7; 2.2; 9.9 ];
+  check int "mode bin" 2 (Stats.Histogram.mode_bin h)
+
+let test_histogram_rejects_bad_width () =
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Histogram.create: bin_width <= 0") (fun () ->
+      ignore (Stats.Histogram.create ~bin_width:0. ()))
+
+let test_summary_moments () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check flt_loose "mean" 5. (Stats.Summary.mean s);
+  check flt_loose "stddev" (sqrt (32. /. 7.)) (Stats.Summary.stddev s);
+  check flt "min" 2. (Stats.Summary.min s);
+  check flt "max" 9. (Stats.Summary.max s)
+
+let test_summary_percentiles () =
+  let s = Stats.Summary.create () in
+  for i = 1 to 100 do
+    Stats.Summary.add s (float_of_int i)
+  done;
+  check flt_loose "median" 50.5 (Stats.Summary.median s);
+  check flt_loose "p0" 1. (Stats.Summary.percentile s 0.);
+  check flt_loose "p100" 100. (Stats.Summary.percentile s 100.);
+  check flt_loose "p99" 99.01 (Stats.Summary.percentile s 99.)
+
+let test_summary_add_after_percentile () =
+  (* percentile sorts internally; adding afterwards must still work *)
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 3.; 1.; 2. ];
+  ignore (Stats.Summary.median s);
+  Stats.Summary.add s 0.;
+  check flt_loose "median after add" 1.5 (Stats.Summary.median s)
+
+let test_regression_exact_line () =
+  let pts = List.init 10 (fun i -> (float_of_int i, (2. *. float_of_int i) +. 3.)) in
+  let f = Stats.Regression.fit pts in
+  check flt_loose "slope" 2. f.slope;
+  check flt_loose "intercept" 3. f.intercept;
+  check flt_loose "r2" 1. f.r2
+
+let test_regression_rejects_degenerate () =
+  Alcotest.check_raises "single point"
+    (Invalid_argument "Regression.fit: need at least 2 points") (fun () ->
+      ignore (Stats.Regression.fit [ (1., 1.) ]));
+  Alcotest.check_raises "vertical"
+    (Invalid_argument "Regression.fit: all x equal") (fun () ->
+      ignore (Stats.Regression.fit [ (1., 1.); (1., 2.) ]))
+
+let prop_summary_mean_matches_naive =
+  QCheck.Test.make ~count:200 ~name:"online mean matches naive mean"
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.add s) xs;
+      let naive = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+      abs_float (Stats.Summary.mean s -. naive) < 1e-6)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~count:100 ~name:"percentiles are monotone in p"
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.add s) xs;
+      let ps = [ 0.; 10.; 25.; 50.; 75.; 90.; 100. ] in
+      let vs = List.map (Stats.Summary.percentile s) ps in
+      List.for_all2 ( <= ) (List.filteri (fun i _ -> i < 6) vs) (List.tl vs))
+
+let prop_histogram_count_conserved =
+  QCheck.Test.make ~count:100 ~name:"histogram conserves sample count"
+    QCheck.(list (float_bound_exclusive 10_000.))
+    (fun xs ->
+      let h = Stats.Histogram.create ~bin_width:7. () in
+      List.iter (Stats.Histogram.add h) xs;
+      let total =
+        List.init (Stats.Histogram.bin_count h) (Stats.Histogram.samples_in h)
+        |> List.fold_left ( + ) 0
+      in
+      total = List.length xs)
+
+let suites =
+  [
+    ( "stats.histogram",
+      [
+        Alcotest.test_case "basic" `Quick test_histogram_basic;
+        Alcotest.test_case "clamp" `Quick test_histogram_clamps_below_lo;
+        Alcotest.test_case "mode" `Quick test_histogram_mode;
+        Alcotest.test_case "bad width" `Quick test_histogram_rejects_bad_width;
+        QCheck_alcotest.to_alcotest prop_histogram_count_conserved;
+      ] );
+    ( "stats.summary",
+      [
+        Alcotest.test_case "moments" `Quick test_summary_moments;
+        Alcotest.test_case "percentiles" `Quick test_summary_percentiles;
+        Alcotest.test_case "add after sort" `Quick
+          test_summary_add_after_percentile;
+        QCheck_alcotest.to_alcotest prop_summary_mean_matches_naive;
+        QCheck_alcotest.to_alcotest prop_percentile_monotone;
+      ] );
+    ( "stats.regression",
+      [
+        Alcotest.test_case "exact line" `Quick test_regression_exact_line;
+        Alcotest.test_case "degenerate" `Quick
+          test_regression_rejects_degenerate;
+      ] );
+  ]

@@ -1,0 +1,349 @@
+(* Tests for the Totem single-ring protocol: total order, reliability under
+   loss, membership changes, recovery, partitions. *)
+
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+module Nid = Netsim.Node_id
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let n = Nid.of_int
+
+type harness = {
+  eng : Dsim.Engine.t;
+  net : string Totem.Wire.t Netsim.Network.t;
+  nodes : string Totem.Node.t array;
+  log : (int * string) list ref array; (* delivered (seq within ring ignored) *)
+  views : Nid.t list list ref array;
+}
+
+let make_harness ?(seed = 1L) ?(latency = 26) ?(loss = 0.) count =
+  let eng = Dsim.Engine.create ~seed () in
+  let net =
+    Netsim.Network.create eng
+      { Netsim.Network.latency = Netsim.Latency.Constant (Span.of_us latency); loss }
+  in
+  let log = Array.init count (fun _ -> ref []) in
+  let views = Array.init count (fun _ -> ref []) in
+  let nodes =
+    Array.init count (fun i ->
+        Totem.Node.create eng net ~me:(n i)
+          ~handler:(fun ev ->
+            match ev with
+            | Totem.Node.Deliver { seq; payload; _ } ->
+                log.(i) := (seq, payload) :: !(log.(i))
+            | Totem.Node.View { members; _ } ->
+                views.(i) := members :: !(views.(i))
+            | Totem.Node.Blocked -> ())
+          ())
+  in
+  { eng; net; nodes; log; views }
+
+let start_all h = Array.iter Totem.Node.start h.nodes
+let run_for h ms = Dsim.Engine.run ~until:(Time.add (Dsim.Engine.now h.eng) (Span.of_ms ms)) h.eng
+let delivered h i = List.rev_map snd !(h.log.(i))
+let latest_view h i = match !(h.views.(i)) with [] -> [] | v :: _ -> v
+
+let test_initial_ring_forms () =
+  let h = make_harness 4 in
+  start_all h;
+  run_for h 50;
+  for i = 0 to 3 do
+    check bool "operational" true (Totem.Node.is_operational h.nodes.(i));
+    check int "view size" 4 (List.length (latest_view h i))
+  done;
+  (* all nodes agree on the ring id *)
+  let r0 = Option.get (Totem.Node.ring h.nodes.(0)) in
+  for i = 1 to 3 do
+    check bool "same ring" true
+      (Totem.Ring_id.equal r0 (Option.get (Totem.Node.ring h.nodes.(i))))
+  done
+
+let test_single_node_ring () =
+  let h = make_harness 1 in
+  start_all h;
+  run_for h 50;
+  check bool "singleton operational" true
+    (Totem.Node.is_operational h.nodes.(0));
+  Totem.Node.multicast h.nodes.(0) "solo";
+  run_for h 50;
+  check (Alcotest.list Alcotest.string) "self delivery" [ "solo" ]
+    (delivered h 0)
+
+let test_total_order_basic () =
+  let h = make_harness 3 in
+  start_all h;
+  run_for h 50;
+  Totem.Node.multicast h.nodes.(0) "a";
+  Totem.Node.multicast h.nodes.(1) "b";
+  Totem.Node.multicast h.nodes.(2) "c";
+  run_for h 50;
+  let d0 = delivered h 0 in
+  check int "all delivered" 3 (List.length d0);
+  for i = 1 to 2 do
+    check (Alcotest.list Alcotest.string) "same order" d0 (delivered h i)
+  done
+
+let test_total_order_many_senders () =
+  let h = make_harness ~seed:7L 4 in
+  start_all h;
+  run_for h 50;
+  (* staggered bursts from all nodes *)
+  for round = 0 to 24 do
+    Dsim.Engine.schedule h.eng (Span.of_us (round * 130)) (fun () ->
+        for i = 0 to 3 do
+          Totem.Node.multicast h.nodes.(i)
+            (Printf.sprintf "m%d.%d" i round)
+        done)
+  done;
+  run_for h 200;
+  let d0 = delivered h 0 in
+  check int "count" 100 (List.length d0);
+  for i = 1 to 3 do
+    check (Alcotest.list Alcotest.string) "agreed order" d0 (delivered h i)
+  done
+
+let test_sender_order_preserved () =
+  (* FIFO from a single sender is implied by total order + seq assignment *)
+  let h = make_harness 3 in
+  start_all h;
+  run_for h 50;
+  for k = 1 to 20 do
+    Totem.Node.multicast h.nodes.(1) (string_of_int k)
+  done;
+  run_for h 100;
+  let mine = List.filter_map int_of_string_opt (delivered h 0) in
+  check (Alcotest.list int) "fifo" (List.init 20 (fun i -> i + 1)) mine
+
+let test_reliability_under_loss () =
+  let h = make_harness ~seed:3L ~loss:0.05 4 in
+  start_all h;
+  run_for h 100;
+  for k = 0 to 49 do
+    Dsim.Engine.schedule h.eng (Span.of_us (k * 200)) (fun () ->
+        Totem.Node.multicast h.nodes.(k mod 4) (Printf.sprintf "p%d" k))
+  done;
+  run_for h 400;
+  let d0 = delivered h 0 in
+  check int "all messages despite loss" 50 (List.length d0);
+  for i = 1 to 3 do
+    check (Alcotest.list Alcotest.string) "same order under loss" d0
+      (delivered h i)
+  done
+
+let test_crash_triggers_new_view () =
+  let h = make_harness 4 in
+  start_all h;
+  run_for h 50;
+  Totem.Node.crash h.nodes.(2);
+  run_for h 50;
+  for i = 0 to 3 do
+    if i <> 2 then begin
+      check bool "survivor operational" true
+        (Totem.Node.is_operational h.nodes.(i));
+      check int "3-member view" 3 (List.length (latest_view h i))
+    end
+  done
+
+let test_messages_survive_crash () =
+  let h = make_harness ~seed:5L 4 in
+  start_all h;
+  run_for h 50;
+  for k = 0 to 9 do
+    Totem.Node.multicast h.nodes.(1) (Printf.sprintf "pre%d" k)
+  done;
+  (* crash node 3 shortly after the sends *)
+  Dsim.Engine.schedule h.eng (Span.of_us 100) (fun () ->
+      Totem.Node.crash h.nodes.(3));
+  run_for h 100;
+  for k = 0 to 4 do
+    Totem.Node.multicast h.nodes.(0) (Printf.sprintf "post%d" k)
+  done;
+  run_for h 100;
+  let d0 = delivered h 0 in
+  check int "15 messages at survivors" 15 (List.length d0);
+  check (Alcotest.list Alcotest.string) "n1 agrees" d0 (delivered h 1);
+  check (Alcotest.list Alcotest.string) "n2 agrees" d0 (delivered h 2)
+
+let test_agreed_prefix_property () =
+  (* Survivors deliver identical sequences even when the crash happens
+     mid-burst. *)
+  let h = make_harness ~seed:11L 4 in
+  start_all h;
+  run_for h 50;
+  for k = 0 to 29 do
+    Dsim.Engine.schedule h.eng (Span.of_us (k * 60)) (fun () ->
+        (* node 2 crashes mid-burst; skip it once dead *)
+        let sender = k mod 4 in
+        if sender <> 2 || Time.(Dsim.Engine.now h.eng < Time.of_us 900) then
+          Totem.Node.multicast h.nodes.(sender) (Printf.sprintf "x%d" k))
+  done;
+  Dsim.Engine.schedule h.eng (Span.of_us 900) (fun () ->
+      Totem.Node.crash h.nodes.(2));
+  run_for h 300;
+  let d0 = delivered h 0 in
+  check (Alcotest.list Alcotest.string) "n1 same" d0 (delivered h 1);
+  check (Alcotest.list Alcotest.string) "n3 same" d0 (delivered h 3)
+
+let test_late_joiner () =
+  let h = make_harness 4 in
+  (* only nodes 0-2 start; node 3 joins later *)
+  for i = 0 to 2 do
+    Totem.Node.start h.nodes.(i)
+  done;
+  run_for h 50;
+  Totem.Node.multicast h.nodes.(0) "before";
+  run_for h 20;
+  Totem.Node.start h.nodes.(3);
+  run_for h 60;
+  check bool "joiner operational" true (Totem.Node.is_operational h.nodes.(3));
+  check int "view has 4" 4 (List.length (latest_view h 3));
+  Totem.Node.multicast h.nodes.(1) "after";
+  run_for h 50;
+  check
+    (Alcotest.list Alcotest.string)
+    "joiner sees post-join traffic" [ "after" ] (delivered h 3);
+  check
+    (Alcotest.list Alcotest.string)
+    "old member saw both" [ "before"; "after" ] (delivered h 0)
+
+let test_partition_forms_two_rings () =
+  let h = make_harness 4 in
+  start_all h;
+  run_for h 50;
+  Netsim.Network.partition h.net [ [ n 0; n 1; n 2 ]; [ n 3 ] ];
+  run_for h 100;
+  check int "majority side has 3" 3 (List.length (latest_view h 0));
+  check int "minority side has 1" 1 (List.length (latest_view h 3));
+  (* each side still orders its own traffic *)
+  Totem.Node.multicast h.nodes.(0) "maj";
+  Totem.Node.multicast h.nodes.(3) "min";
+  run_for h 100;
+  check (Alcotest.list Alcotest.string) "majority delivers" [ "maj" ]
+    (delivered h 0);
+  check (Alcotest.list Alcotest.string) "minority delivers" [ "min" ]
+    (delivered h 3)
+
+let test_remerge_after_partition () =
+  let h = make_harness 4 in
+  start_all h;
+  run_for h 50;
+  Netsim.Network.partition h.net [ [ n 0; n 1 ]; [ n 2; n 3 ] ];
+  run_for h 100;
+  check int "side A" 2 (List.length (latest_view h 0));
+  check int "side B" 2 (List.length (latest_view h 2));
+  Netsim.Network.heal h.net;
+  run_for h 150;
+  for i = 0 to 3 do
+    check int "remerged view" 4 (List.length (latest_view h i))
+  done;
+  Totem.Node.multicast h.nodes.(2) "merged";
+  run_for h 50;
+  for i = 0 to 3 do
+    check bool "post-merge delivery everywhere" true
+      (List.mem "merged" (delivered h i))
+  done
+
+let test_token_rotates () =
+  let h = make_harness 4 in
+  start_all h;
+  run_for h 50;
+  let before = (Totem.Node.stats h.nodes.(1)).tokens_seen in
+  run_for h 10;
+  let after = (Totem.Node.stats h.nodes.(1)).tokens_seen in
+  (* rotation ~ 4 * (26us wire + 25us hold) ~ 204us -> ~49 visits in 10ms *)
+  let visits = after - before in
+  check bool "token rotation rate plausible" true (visits > 30 && visits < 70)
+
+let test_duplicate_free_delivery () =
+  let h = make_harness ~seed:13L ~loss:0.02 3 in
+  start_all h;
+  run_for h 50;
+  for k = 0 to 19 do
+    Totem.Node.multicast h.nodes.(k mod 3) (Printf.sprintf "u%d" k)
+  done;
+  run_for h 300;
+  let d = delivered h 0 in
+  let uniq = List.sort_uniq compare d in
+  check int "no duplicates" (List.length uniq) (List.length d);
+  check int "all delivered" 20 (List.length d)
+
+let test_multicast_after_crash_rejected () =
+  let h = make_harness 2 in
+  start_all h;
+  run_for h 50;
+  Totem.Node.crash h.nodes.(0);
+  Alcotest.check_raises "crashed multicast"
+    (Invalid_argument "Totem.Node.multicast: node crashed") (fun () ->
+      Totem.Node.multicast h.nodes.(0) "nope")
+
+let test_queued_messages_sent_on_new_ring () =
+  (* messages multicast during a membership change are not lost *)
+  let h = make_harness 3 in
+  start_all h;
+  run_for h 50;
+  Totem.Node.crash h.nodes.(2);
+  (* queue immediately, while survivors are still re-forming *)
+  Totem.Node.multicast h.nodes.(0) "during-change";
+  run_for h 100;
+  check bool "queued message delivered" true
+    (List.mem "during-change" (delivered h 0));
+  check bool "at peer too" true (List.mem "during-change" (delivered h 1))
+
+let prop_total_order_random_workloads =
+  QCheck.Test.make ~count:25 ~name:"random workloads keep agreed order"
+    QCheck.(pair (int_range 2 5) (int_range 1 40))
+    (fun (nodes, msgs) ->
+      let h = make_harness ~seed:(Int64.of_int (nodes + (msgs * 31))) nodes in
+      start_all h;
+      run_for h 50;
+      for k = 0 to msgs - 1 do
+        Dsim.Engine.schedule h.eng
+          (Span.of_us (k * 37))
+          (fun () ->
+            Totem.Node.multicast h.nodes.(k mod nodes)
+              (Printf.sprintf "r%d" k))
+      done;
+      run_for h 300;
+      let d0 = delivered h 0 in
+      List.length d0 = msgs
+      && List.for_all
+           (fun i -> delivered h i = d0)
+           (List.init (nodes - 1) (fun i -> i + 1)))
+
+let suites =
+  [
+    ( "totem.formation",
+      [
+        Alcotest.test_case "initial ring" `Quick test_initial_ring_forms;
+        Alcotest.test_case "single node" `Quick test_single_node_ring;
+        Alcotest.test_case "token rotates" `Quick test_token_rotates;
+      ] );
+    ( "totem.ordering",
+      [
+        Alcotest.test_case "basic total order" `Quick test_total_order_basic;
+        Alcotest.test_case "many senders" `Quick test_total_order_many_senders;
+        Alcotest.test_case "sender fifo" `Quick test_sender_order_preserved;
+        Alcotest.test_case "duplicate free" `Quick test_duplicate_free_delivery;
+        QCheck_alcotest.to_alcotest prop_total_order_random_workloads;
+      ] );
+    ( "totem.reliability",
+      [
+        Alcotest.test_case "loss recovery" `Quick test_reliability_under_loss;
+      ] );
+    ( "totem.membership",
+      [
+        Alcotest.test_case "crash view" `Quick test_crash_triggers_new_view;
+        Alcotest.test_case "messages survive crash" `Quick
+          test_messages_survive_crash;
+        Alcotest.test_case "agreed prefix" `Quick test_agreed_prefix_property;
+        Alcotest.test_case "late joiner" `Quick test_late_joiner;
+        Alcotest.test_case "partition" `Quick test_partition_forms_two_rings;
+        Alcotest.test_case "remerge" `Quick test_remerge_after_partition;
+        Alcotest.test_case "crashed multicast" `Quick
+          test_multicast_after_crash_rejected;
+        Alcotest.test_case "queued across view change" `Quick
+          test_queued_messages_sent_on_new_ring;
+      ] );
+  ]

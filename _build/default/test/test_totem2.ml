@@ -1,0 +1,316 @@
+(* Further Totem tests: the message store, flow control, token
+   retransmission, garbage collection, large rings, and wire pretty
+   printers. *)
+
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+module Nid = Netsim.Node_id
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let n = Nid.of_int
+
+(* ------------------------------------------------------------------ *)
+(* Store *)
+
+let ring = Totem.Ring_id.make ~rep:(n 0) ~gen:1
+
+let msg seq : string Totem.Wire.regular =
+  { ring; seq; sender = n 0; payload = Printf.sprintf "m%d" seq }
+
+let test_store_contiguous_aru () =
+  let s = Totem.Store.create () in
+  check int "empty aru" 0 (Totem.Store.aru s);
+  check bool "add 1" true (Totem.Store.add s (msg 1));
+  check bool "add 3" true (Totem.Store.add s (msg 3));
+  check int "aru stops at gap" 1 (Totem.Store.aru s);
+  check bool "add 2 fills gap" true (Totem.Store.add s (msg 2));
+  check int "aru jumps" 3 (Totem.Store.aru s);
+  check int "high" 3 (Totem.Store.high_seq s)
+
+let test_store_duplicate_detection () =
+  let s = Totem.Store.create () in
+  check bool "first" true (Totem.Store.add s (msg 5));
+  check bool "duplicate" false (Totem.Store.add s (msg 5))
+
+let test_store_delivery_cursor () =
+  let s = Totem.Store.create () in
+  List.iter (fun k -> ignore (Totem.Store.add s (msg k))) [ 1; 2; 4 ];
+  (match Totem.Store.next_to_deliver s with
+  | Some m -> check int "next is 1" 1 m.Totem.Wire.seq
+  | None -> Alcotest.fail "expected a deliverable message");
+  Totem.Store.set_delivered s 2;
+  check bool "gap blocks delivery" true (Totem.Store.next_to_deliver s = None);
+  Alcotest.check_raises "cursor cannot go back"
+    (Invalid_argument "Store.set_delivered: going backwards") (fun () ->
+      Totem.Store.set_delivered s 1)
+
+let test_store_missing_and_held () =
+  let s = Totem.Store.create () in
+  List.iter (fun k -> ignore (Totem.Store.add s (msg k))) [ 1; 3; 5 ];
+  check (Alcotest.list int) "missing" [ 2; 4; 6 ]
+    (Totem.Store.missing_up_to s 6);
+  check (Alcotest.list int) "held" [ 1; 3; 5 ]
+    (Totem.Store.held_in s ~lo:1 ~hi:6);
+  check (Alcotest.list int) "held window" [ 3 ]
+    (Totem.Store.held_in s ~lo:2 ~hi:4)
+
+let test_store_gc () =
+  let s = Totem.Store.create () in
+  for k = 1 to 10 do
+    ignore (Totem.Store.add s (msg k))
+  done;
+  Totem.Store.set_delivered s 10;
+  Totem.Store.gc s ~upto:7;
+  check bool "gc'd seqs count as present" true (Totem.Store.has s 3);
+  check bool "gc'd seqs not retrievable" true (Totem.Store.find s 3 = None);
+  check bool "kept seqs retrievable" true (Totem.Store.find s 8 <> None);
+  (* re-adding below the floor is a duplicate *)
+  check bool "below floor duplicate" false (Totem.Store.add s (msg 3))
+
+let prop_store_aru_is_contiguous_prefix =
+  QCheck.Test.make ~count:200 ~name:"store aru = longest contiguous prefix"
+    QCheck.(list_of_size (Gen.int_range 0 30) (int_range 1 40))
+    (fun seqs ->
+      let s = Totem.Store.create () in
+      List.iter (fun k -> ignore (Totem.Store.add s (msg k))) seqs;
+      let present k = List.mem k seqs in
+      let rec expected k = if present (k + 1) then expected (k + 1) else k in
+      Totem.Store.aru s = expected 0)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol-level *)
+
+type harness = {
+  eng : Dsim.Engine.t;
+  net : string Totem.Wire.t Netsim.Network.t;
+  nodes : string Totem.Node.t array;
+  delivered : string list ref array;
+}
+
+let make ?(seed = 1L) ?(loss = 0.) ?config count =
+  let eng = Dsim.Engine.create ~seed () in
+  let net =
+    Netsim.Network.create eng
+      {
+        Netsim.Network.latency = Netsim.Latency.Constant (Span.of_us 26);
+        loss;
+      }
+  in
+  let delivered = Array.init count (fun _ -> ref []) in
+  let nodes =
+    Array.init count (fun i ->
+        Totem.Node.create eng net ~me:(n i) ?config
+          ~handler:(fun ev ->
+            match ev with
+            | Totem.Node.Deliver { payload; _ } ->
+                delivered.(i) := payload :: !(delivered.(i))
+            | Totem.Node.View _ | Totem.Node.Blocked -> ())
+          ())
+  in
+  Array.iter Totem.Node.start nodes;
+  Dsim.Engine.run ~until:(Time.of_ms 50) eng;
+  { eng; net; nodes; delivered }
+
+let run_for h ms =
+  Dsim.Engine.run ~until:(Time.add (Dsim.Engine.now h.eng) (Span.of_ms ms))
+    h.eng
+
+let test_flow_control_caps_per_visit () =
+  let config =
+    { Totem.Config.default with max_msgs_per_visit = 5; window = 100 }
+  in
+  let h = make ~config 3 in
+  (* queue far more than one visit's budget *)
+  for k = 1 to 23 do
+    Totem.Node.multicast h.nodes.(0) (string_of_int k)
+  done;
+  check int "queued" 23 (Totem.Node.pending h.nodes.(0));
+  run_for h 100;
+  check int "all delivered eventually" 23
+    (List.length !(h.delivered.(1)));
+  (* FIFO preserved under batching *)
+  check
+    (Alcotest.list Alcotest.string)
+    "order preserved"
+    (List.init 23 (fun i -> string_of_int (i + 1)))
+    (List.rev !(h.delivered.(1)))
+
+let test_token_retransmit_survives_single_loss () =
+  (* 1 in 50 packets lost: single token losses are healed by the token
+     retransmission timer without a membership change *)
+  let h = make ~seed:3L ~loss:0.02 4 in
+  let views_before =
+    (Totem.Node.stats h.nodes.(0)).Totem.Node.views_installed
+  in
+  for k = 1 to 30 do
+    Totem.Node.multicast h.nodes.(k mod 4) (string_of_int k)
+  done;
+  run_for h 200;
+  check int "all delivered" 30 (List.length !(h.delivered.(0)));
+  let views_after =
+    (Totem.Node.stats h.nodes.(0)).Totem.Node.views_installed
+  in
+  check bool "few membership changes despite loss" true
+    (views_after - views_before <= 2)
+
+let test_large_ring () =
+  let h = make 8 in
+  for i = 0 to 7 do
+    Totem.Node.multicast h.nodes.(i) (Printf.sprintf "from%d" i)
+  done;
+  run_for h 100;
+  let d0 = List.rev !(h.delivered.(0)) in
+  check int "eight messages" 8 (List.length d0);
+  for i = 1 to 7 do
+    check
+      (Alcotest.list Alcotest.string)
+      "same order on the big ring" d0
+      (List.rev !(h.delivered.(i)))
+  done
+
+let test_store_gc_happens_on_ring () =
+  (* after sustained traffic and token rotations, early messages are
+     garbage-collected from the stores (we can only observe indirectly:
+     memory-safe long runs and correct delivery) *)
+  let h = make 3 in
+  for batch = 0 to 19 do
+    for k = 0 to 9 do
+      Totem.Node.multicast h.nodes.(k mod 3)
+        (Printf.sprintf "b%d.%d" batch k)
+    done;
+    run_for h 5
+  done;
+  run_for h 50;
+  check int "200 delivered" 200 (List.length !(h.delivered.(2)))
+
+let delivery_time_of_first_message config =
+  let eng = Dsim.Engine.create ~seed:21L () in
+  let net =
+    Netsim.Network.create eng
+      {
+        Netsim.Network.latency = Netsim.Latency.Constant (Span.of_us 26);
+        loss = 0.;
+      }
+  in
+  let when_delivered = ref None in
+  let nodes =
+    Array.init 4 (fun i ->
+        Totem.Node.create eng net ~me:(n i) ~config
+          ~handler:(fun ev ->
+            match ev with
+            | Totem.Node.Deliver { payload; _ } ->
+                if i = 2 && payload = "probe" && !when_delivered = None then
+                  when_delivered := Some (Dsim.Engine.now eng)
+            | Totem.Node.View _ | Totem.Node.Blocked -> ())
+          ())
+  in
+  Array.iter Totem.Node.start nodes;
+  Dsim.Engine.run ~until:(Time.of_ms 50) eng;
+  Totem.Node.multicast nodes.(0) "probe";
+  Dsim.Engine.run ~until:(Time.of_ms 80) eng;
+  Option.get !when_delivered
+
+let test_safe_delivery_orders_and_lags () =
+  let agreed =
+    delivery_time_of_first_message
+      { Totem.Config.default with delivery = Totem.Config.Agreed }
+  in
+  let safe =
+    delivery_time_of_first_message
+      { Totem.Config.default with delivery = Totem.Config.Safe }
+  in
+  (* safe delivery withholds the message until the token proves stability:
+     at least one extra rotation (~200 us on this ring) *)
+  check bool "safe delivery is later" true
+    Span.(Time.diff safe agreed > Span.of_us 150)
+
+let test_safe_delivery_total_order () =
+  let config = { Totem.Config.default with delivery = Totem.Config.Safe } in
+  let h = make ~config 4 in
+  for k = 1 to 20 do
+    Totem.Node.multicast h.nodes.(k mod 4) (string_of_int k)
+  done;
+  run_for h 200;
+  let d0 = List.rev !(h.delivered.(0)) in
+  check int "all delivered under safe mode" 20 (List.length d0);
+  for i = 1 to 3 do
+    check
+      (Alcotest.list Alcotest.string)
+      "same order" d0
+      (List.rev !(h.delivered.(i)))
+  done
+
+let test_wire_pp_smoke () =
+  let show m = Format.asprintf "%a" Totem.Wire.pp m in
+  let r : string Totem.Wire.t = Totem.Wire.Regular (msg 7) in
+  check bool "regular" true
+    (String.length (show r) > 0
+    && String.length (show r) < 200);
+  let tok : string Totem.Wire.t =
+    Totem.Wire.Token
+      {
+        ring;
+        token_seq = 3;
+        seq = 9;
+        aru = 7;
+        aru_id = Some (n 1);
+        rtr = [ 8 ];
+        fcc = 2;
+      }
+  in
+  check bool "token mentions seq" true
+    (let s = show tok in
+     String.length s > 0)
+
+let test_ring_id_ordering () =
+  let a = Totem.Ring_id.make ~rep:(n 0) ~gen:1 in
+  let b = Totem.Ring_id.make ~rep:(n 1) ~gen:1 in
+  let c = Totem.Ring_id.make ~rep:(n 0) ~gen:2 in
+  check bool "gen dominates" true (Totem.Ring_id.compare a c < 0);
+  check bool "rep breaks ties" true (Totem.Ring_id.compare a b < 0);
+  check bool "equal" true (Totem.Ring_id.equal a a);
+  check bool "distinct" false (Totem.Ring_id.equal a b)
+
+let prop_large_ring_total_order =
+  QCheck.Test.make ~count:10 ~name:"total order holds for rings of 2..8"
+    QCheck.(pair (int_range 2 8) (int_range 1 500))
+    (fun (nodes, seed) ->
+      let h = make ~seed:(Int64.of_int seed) nodes in
+      for k = 1 to 12 do
+        Totem.Node.multicast h.nodes.(k mod nodes) (string_of_int k)
+      done;
+      run_for h 200;
+      let d0 = !(h.delivered.(0)) in
+      List.length d0 = 12
+      && Array.for_all (fun d -> !d = d0) h.delivered)
+
+let suites =
+  [
+    ( "totem.store",
+      [
+        Alcotest.test_case "contiguous aru" `Quick test_store_contiguous_aru;
+        Alcotest.test_case "duplicates" `Quick test_store_duplicate_detection;
+        Alcotest.test_case "delivery cursor" `Quick test_store_delivery_cursor;
+        Alcotest.test_case "missing/held" `Quick test_store_missing_and_held;
+        Alcotest.test_case "gc" `Quick test_store_gc;
+        QCheck_alcotest.to_alcotest prop_store_aru_is_contiguous_prefix;
+      ] );
+    ( "totem.protocol",
+      [
+        Alcotest.test_case "flow control" `Quick
+          test_flow_control_caps_per_visit;
+        Alcotest.test_case "token retransmission" `Quick
+          test_token_retransmit_survives_single_loss;
+        Alcotest.test_case "large ring" `Quick test_large_ring;
+        Alcotest.test_case "gc on ring" `Quick test_store_gc_happens_on_ring;
+        Alcotest.test_case "safe delivery lags" `Quick
+          test_safe_delivery_orders_and_lags;
+        Alcotest.test_case "safe delivery order" `Quick
+          test_safe_delivery_total_order;
+        Alcotest.test_case "wire pp" `Quick test_wire_pp_smoke;
+        Alcotest.test_case "ring id order" `Quick test_ring_id_ordering;
+        QCheck_alcotest.to_alcotest prop_large_ring_total_order;
+      ] );
+  ]

@@ -1,0 +1,244 @@
+(* Fine-grained unit tests of the CCS handler, CCS messages, drift
+   strategies, call types, thread ids and group views — the pieces the
+   integration suites exercise only indirectly. *)
+
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+module Nid = Netsim.Node_id
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let thread1 = Cts.Thread_id.of_int 1
+
+let payload ?(thread = thread1) ?(call = Cts.Call_type.Gettimeofday) round us =
+  { Cts.Ccs_msg.thread; round; proposal = Time.of_us us; call }
+
+(* ------------------------------------------------------------------ *)
+(* Ccs_handler *)
+
+let with_handler f =
+  let eng = Dsim.Engine.create () in
+  let sent = ref [] in
+  let suppressed = ref 0 in
+  let h =
+    Cts.Ccs_handler.create eng ~thread:thread1
+      ~send:(fun p -> sent := p :: !sent)
+      ~on_suppress:(fun () -> incr suppressed)
+      ()
+  in
+  f eng h sent suppressed
+
+let test_handler_sends_when_buffer_empty () =
+  with_handler (fun eng h sent _ ->
+      let got = ref None in
+      Dsim.Fiber.spawn eng (fun () ->
+          got :=
+            Some
+              (Cts.Ccs_handler.get_grp_clock_time h
+                 ~proposal:(Time.of_us 42) ~call:Cts.Call_type.Gettimeofday));
+      Dsim.Engine.run eng;
+      check int "one send" 1 (List.length !sent);
+      check bool "thread blocked until message" true (!got = None);
+      (* the winner's message arrives *)
+      Cts.Ccs_handler.recv h (payload 1 40);
+      Dsim.Engine.run eng;
+      match !got with
+      | Some w -> check int "adopted winner" 40 (Time.to_us w.Cts.Ccs_msg.proposal)
+      | None -> Alcotest.fail "round never completed")
+
+let test_handler_suppresses_when_buffered () =
+  with_handler (fun eng h sent suppressed ->
+      Cts.Ccs_handler.recv h (payload 1 33);
+      let got = ref None in
+      Dsim.Fiber.spawn eng (fun () ->
+          got :=
+            Some
+              (Cts.Ccs_handler.get_grp_clock_time h
+                 ~proposal:(Time.of_us 99) ~call:Cts.Call_type.Gettimeofday));
+      Dsim.Engine.run eng;
+      check int "no send" 0 (List.length !sent);
+      check int "suppression recorded" 1 !suppressed;
+      match !got with
+      | Some w ->
+          check int "buffered winner adopted without blocking" 33
+            (Time.to_us w.Cts.Ccs_msg.proposal)
+      | None -> Alcotest.fail "did not complete")
+
+let test_handler_duplicate_rounds_discarded () =
+  with_handler (fun _eng h _ _ ->
+      Cts.Ccs_handler.recv h (payload 1 10);
+      Cts.Ccs_handler.recv h (payload 1 20);
+      (* duplicate for round 1 *)
+      check int "only the first buffered" 1 (Cts.Ccs_handler.buffered h);
+      Cts.Ccs_handler.recv h (payload 2 30);
+      check int "next round accepted" 2 (Cts.Ccs_handler.buffered h);
+      Cts.Ccs_handler.recv h (payload 1 40);
+      (* stale round *)
+      check int "stale round discarded" 2 (Cts.Ccs_handler.buffered h))
+
+let test_handler_round_settled () =
+  with_handler (fun _eng h _ _ ->
+      check bool "round 1 open" false (Cts.Ccs_handler.round_settled h 1);
+      Cts.Ccs_handler.recv h (payload 1 10);
+      check bool "round 1 settled" true (Cts.Ccs_handler.round_settled h 1);
+      check bool "round 2 open" false (Cts.Ccs_handler.round_settled h 2))
+
+let test_handler_advance_to () =
+  with_handler (fun _eng h _ _ ->
+      Cts.Ccs_handler.recv h (payload 1 10);
+      Cts.Ccs_handler.recv h (payload 2 20);
+      Cts.Ccs_handler.recv h (payload 3 30);
+      Cts.Ccs_handler.advance_to h ~round:2;
+      check int "rounds <= 2 dropped" 1 (Cts.Ccs_handler.buffered h);
+      check int "round counter moved" 2 (Cts.Ccs_handler.round h);
+      check bool "peek is round 3" true
+        (Cts.Ccs_handler.peek_round h = Some 3);
+      Alcotest.check_raises "cannot go backwards"
+        (Invalid_argument "Ccs_handler.advance_to: target behind current round")
+        (fun () -> Cts.Ccs_handler.advance_to h ~round:1))
+
+let test_handler_wrong_thread_rejected () =
+  with_handler (fun _eng h _ _ ->
+      Alcotest.check_raises "wrong thread"
+        (Invalid_argument "Ccs_handler.recv: wrong thread") (fun () ->
+          Cts.Ccs_handler.recv h
+            (payload ~thread:(Cts.Thread_id.of_int 2) 1 10)))
+
+let prop_handler_fifo_rounds =
+  QCheck.Test.make ~count:100
+    ~name:"handler buffers strictly increasing rounds in order"
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_range 1 30))
+    (fun rounds ->
+      with_handler (fun _eng h _ _ ->
+          List.iter (fun r -> Cts.Ccs_handler.recv h (payload r (r * 10))) rounds;
+          (* the buffer holds a strictly increasing subsequence: each
+             element accepted only if greater than everything before *)
+          let expected =
+            List.fold_left
+              (fun acc r -> if r > List.fold_left max 0 acc then r :: acc else acc)
+              [] rounds
+            |> List.rev
+          in
+          List.length expected = Cts.Ccs_handler.buffered h))
+
+(* ------------------------------------------------------------------ *)
+(* Ccs_msg / Call_type / Thread_id *)
+
+let test_ccs_msg_roundtrip () =
+  let group = Gcs.Group_id.of_int 3 in
+  let p = payload 7 123 in
+  let msg = Cts.Ccs_msg.make ~group p in
+  check bool "same group both ways" true
+    (Gcs.Group_id.equal msg.Gcs.Msg.header.src_grp
+       msg.Gcs.Msg.header.dst_grp);
+  check int "round in msg_seq_num" 7 msg.Gcs.Msg.header.msg_seq;
+  check Alcotest.string "msg_type" "CCS" msg.Gcs.Msg.header.msg_type;
+  match Cts.Ccs_msg.of_msg msg with
+  | Some p' -> check int "payload preserved" 123 (Time.to_us p'.proposal)
+  | None -> Alcotest.fail "of_msg failed"
+
+let test_ccs_msg_of_other_body () =
+  let other =
+    Gcs.Msg.make ~msg_type:"REQUEST" ~src_grp:(Gcs.Group_id.of_int 1)
+      ~dst_grp:(Gcs.Group_id.of_int 2) ~conn_id:1 ~msg_seq:1
+      (Rpc.Wire.Request { op = "x"; arg = ""; ts = None })
+  in
+  check bool "non-CCS ignored" true (Cts.Ccs_msg.of_msg other = None)
+
+let test_call_types_distinct () =
+  let all = Cts.Call_type.[ Gettimeofday; Time; Ftime ] in
+  let ids = List.map Cts.Call_type.type_id all in
+  check int "distinct type ids" 3 (List.length (List.sort_uniq compare ids));
+  check bool "granularities ordered" true
+    Span.(
+      Cts.Call_type.granularity Cts.Call_type.Gettimeofday
+      < Cts.Call_type.granularity Cts.Call_type.Ftime
+      && Cts.Call_type.granularity Cts.Call_type.Ftime
+         < Cts.Call_type.granularity Cts.Call_type.Time)
+
+let test_thread_id_reserved () =
+  check int "recovery thread is 0" 0 (Cts.Thread_id.to_int Cts.Thread_id.recovery);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Thread_id.of_int: negative") (fun () ->
+      ignore (Cts.Thread_id.of_int (-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Drift *)
+
+let test_drift_none_identity () =
+  let p = Time.of_us 500 in
+  check bool "proposal unchanged" true
+    (Time.equal (Cts.Drift.adjust_proposal Cts.Drift.No_compensation p) p);
+  check bool "offset unchanged" true
+    (Span.equal
+       (Cts.Drift.adjust_offset Cts.Drift.No_compensation (Span.of_us 7))
+       (Span.of_us 7))
+
+let test_drift_mean_delay_offsets_only () =
+  let d = Cts.Drift.Mean_delay (Span.of_us 120) in
+  let p = Time.of_us 500 in
+  check bool "proposal untouched" true
+    (Time.equal (Cts.Drift.adjust_proposal d p) p);
+  check int "offset shifted" 127
+    (Span.to_us (Cts.Drift.adjust_offset d (Span.of_us 7)))
+
+let test_drift_anchored_pulls_toward_source () =
+  let eng = Dsim.Engine.create () in
+  let source = Clock.External_source.create eng ~max_skew:Span.zero in
+  let d = Cts.Drift.Anchored { source; gain = 0.5 } in
+  Dsim.Engine.schedule eng (Span.of_us 1000) (fun () ->
+      (* proposal 400 us behind real time (1000): gain 0.5 pulls halfway *)
+      let adjusted = Cts.Drift.adjust_proposal d (Time.of_us 600) in
+      check int "halfway to real time" 800 (Time.to_us adjusted);
+      (* offsets untouched by anchoring *)
+      check int "offset unchanged" 5
+        (Span.to_us (Cts.Drift.adjust_offset d (Span.of_us 5))));
+  Dsim.Engine.run eng
+
+(* ------------------------------------------------------------------ *)
+(* View *)
+
+let test_view_ranks () =
+  let v =
+    {
+      Gcs.View.group = Gcs.Group_id.of_int 1;
+      members = [ (Nid.of_int 5, 0); (Nid.of_int 2, 1); (Nid.of_int 9, 2) ];
+      primary = true;
+    }
+  in
+  check int "size" 3 (Gcs.View.size v);
+  check (Alcotest.option int) "rank by join order" (Some 1)
+    (Gcs.View.rank_of v (Nid.of_int 2));
+  check (Alcotest.option int) "absent member" None
+    (Gcs.View.rank_of v (Nid.of_int 7));
+  check (Alcotest.list int) "nodes in rank order" [ 5; 2; 9 ]
+    (List.map Nid.to_int (Gcs.View.members_nodes v))
+
+let suites =
+  [
+    ( "cts.units",
+      [
+        Alcotest.test_case "handler sends" `Quick
+          test_handler_sends_when_buffer_empty;
+        Alcotest.test_case "handler suppresses" `Quick
+          test_handler_suppresses_when_buffered;
+        Alcotest.test_case "handler dedup" `Quick
+          test_handler_duplicate_rounds_discarded;
+        Alcotest.test_case "round settled" `Quick test_handler_round_settled;
+        Alcotest.test_case "advance_to" `Quick test_handler_advance_to;
+        Alcotest.test_case "wrong thread" `Quick
+          test_handler_wrong_thread_rejected;
+        QCheck_alcotest.to_alcotest prop_handler_fifo_rounds;
+        Alcotest.test_case "ccs msg roundtrip" `Quick test_ccs_msg_roundtrip;
+        Alcotest.test_case "ccs msg filter" `Quick test_ccs_msg_of_other_body;
+        Alcotest.test_case "call types" `Quick test_call_types_distinct;
+        Alcotest.test_case "thread ids" `Quick test_thread_id_reserved;
+        Alcotest.test_case "drift none" `Quick test_drift_none_identity;
+        Alcotest.test_case "drift mean-delay" `Quick
+          test_drift_mean_delay_offsets_only;
+        Alcotest.test_case "drift anchored" `Quick
+          test_drift_anchored_pulls_toward_source;
+        Alcotest.test_case "view ranks" `Quick test_view_ranks;
+      ] );
+  ]
