@@ -122,6 +122,26 @@ let bench_causal () =
   section "E7: causal group clocks across groups (paper section 5)";
   R.causal ppf (E.causal ())
 
+let bench_mc () =
+  section "MC1: schedule exploration throughput (lib/mc)";
+  let budget = scaled 500 in
+  let cfg = { Mc.Harness.default with Mc.Harness.rounds = 8 } in
+  let run name strategy =
+    let r = Mc.Explore.explore ~strategy ~budget cfg in
+    Format.fprintf ppf "%-28s %6d schedules (%d distinct) in %.2f s — %.0f schedules/s@."
+      name r.Mc.Explore.schedules r.Mc.Explore.distinct r.Mc.Explore.elapsed_s
+      (Mc.Explore.schedules_per_sec r);
+    r
+  in
+  let random = run "random walk" Mc.Strategy.default_random in
+  let bounded = run "bounded-reorder (depth 1)" (Mc.Strategy.Bounded { depth = 1 }) in
+  (* machine-readable line for the benchmark trajectory *)
+  Format.fprintf ppf
+    "{\"name\":\"mc_explore\",\"schedules\":%d,\"distinct\":%d,\"schedules_per_sec\":%.1f,\"bounded_schedules_per_sec\":%.1f}@."
+    random.Mc.Explore.schedules random.Mc.Explore.distinct
+    (Mc.Explore.schedules_per_sec random)
+    (Mc.Explore.schedules_per_sec bounded)
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrate                          *)
 
@@ -232,5 +252,6 @@ let () =
   bench_recovery ();
   bench_causal ();
   bench_delivery_mode ();
+  bench_mc ();
   run_micro ();
   Format.fprintf ppf "@.done.@."

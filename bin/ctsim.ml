@@ -170,6 +170,81 @@ let causal_cmd =
          "Causal group-clock timestamps across two replicated groups           (section 5's proposed extension)")
     Term.(const run $ seed)
 
+let explore_cmd =
+  let strategy =
+    let doc = "Exploration strategy: $(b,random) or $(b,bounded)." in
+    Arg.(value & opt string "random" & info [ "strategy" ] ~docv:"S" ~doc)
+  in
+  let budget =
+    let doc = "Number of schedules to explore." in
+    Arg.(value & opt int 500 & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let depth =
+    let doc = "Max deviations per schedule for the bounded strategy." in
+    Arg.(value & opt int 1 & info [ "depth" ] ~docv:"N" ~doc)
+  in
+  let crash =
+    let doc = "Crash the last replica halfway through the run." in
+    Arg.(value & flag & info [ "crash" ] ~doc)
+  in
+  let quantum_us =
+    let doc = "Packet-delay quantum in microseconds." in
+    Arg.(value & opt int 200 & info [ "quantum-us" ] ~docv:"US" ~doc)
+  in
+  let delay_prob =
+    let doc = "Per-packet delay probability (random strategy)." in
+    Arg.(value & opt float 0.01 & info [ "delay-prob" ] ~docv:"P" ~doc)
+  in
+  let reorder_prob =
+    let doc = "Same-time-event reorder probability (random strategy)." in
+    Arg.(value & opt float 0.25 & info [ "reorder-prob" ] ~docv:"P" ~doc)
+  in
+  let keep_going =
+    let doc = "Keep exploring after the first violation." in
+    Arg.(value & flag & info [ "keep-going" ] ~doc)
+  in
+  let run seed replicas strategy budget depth rounds crash quantum_us
+      delay_prob reorder_prob keep_going =
+    let strategy =
+      match Mc.Strategy.of_string strategy with
+      | Some (Mc.Strategy.Random _) ->
+          Mc.Strategy.Random { delay_prob; reorder_prob }
+      | Some (Mc.Strategy.Bounded _) -> Mc.Strategy.Bounded { depth }
+      | None ->
+          Format.eprintf "ctsim: unknown strategy %S@." strategy;
+          exit 2
+    in
+    if replicas < 2 then begin
+      Format.eprintf "ctsim: explore needs at least 2 replicas@.";
+      exit 2
+    end;
+    let cfg =
+      {
+        Mc.Harness.default with
+        Mc.Harness.replicas;
+        rounds;
+        seed = seed64 seed;
+        crash_at_round = (if crash then Some (rounds / 2) else None);
+      }
+    in
+    let report =
+      Mc.Explore.explore ~strategy ~budget ~quantum_us
+        ~stop_at_first:(not keep_going) cfg
+    in
+    Format.fprintf ppf "%a@." Mc.Explore.pp_report report;
+    if report.Mc.Explore.violations <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Model-check the group clock: drive many event interleavings \
+          through the simulator and validate the CCS invariants \
+          (monotonicity, agreement, single synchronizer, no rollback) \
+          after each")
+    Term.(
+      const run $ seed $ replicas $ strategy $ budget $ depth $ rounds_arg 12
+      $ crash $ quantum_us $ delay_prob $ reorder_prob $ keep_going)
+
 let main =
   Cmd.group
     (Cmd.info "ctsim" ~version:"1.0.0"
@@ -186,6 +261,7 @@ let main =
       token_cmd;
       recovery_cmd;
       causal_cmd;
+      explore_cmd;
     ]
 
 let () = exit (Cmd.eval main)

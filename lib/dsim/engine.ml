@@ -1,8 +1,11 @@
+type choice = Take of int | Postpone of Time.Span.t
+
 type t = {
   queue : (unit -> unit) Event_queue.t;
   mutable now : Time.t;
   rng : Rng.t;
   mutable stopped : bool;
+  mutable scheduler : (ready:int -> choice) option;
 }
 
 let create ?(seed = 1L) () =
@@ -11,10 +14,12 @@ let create ?(seed = 1L) () =
     now = Time.epoch;
     rng = Rng.create seed;
     stopped = false;
+    scheduler = None;
   }
 
 let now t = t.now
 let rng t = t.rng
+let set_scheduler t s = t.scheduler <- s
 
 let schedule_at t at f =
   if Time.(at < t.now) then
@@ -27,13 +32,34 @@ let schedule t d f =
   let d = if Time.Span.is_negative d then Time.Span.zero else d in
   Event_queue.push t.queue (Time.add t.now d) f
 
-let step t =
-  match Event_queue.pop t.queue with
+let run_event t = function
   | None -> false
   | Some (at, f) ->
       t.now <- at;
       f ();
       true
+
+let step t =
+  match t.scheduler with
+  | None -> run_event t (Event_queue.pop t.queue)
+  | Some hook -> (
+      match Event_queue.ready_count t.queue with
+      | 0 -> false
+      | ready -> (
+          match hook ~ready with
+          | Take i -> run_event t (Event_queue.pop_nth t.queue i)
+          | Postpone d -> (
+              match Event_queue.pop t.queue with
+              | None -> false
+              | Some (at, f) ->
+                  (* Deferring re-enqueues the head strictly later; virtual
+                     time stays monotone because [at >= t.now] already. *)
+                  let d =
+                    if Time.Span.(d <= Time.Span.zero) then Time.Span.of_ns 1
+                    else d
+                  in
+                  Event_queue.push t.queue (Time.add at d) f;
+                  true)))
 
 let run ?until ?max_events t =
   t.stopped <- false;

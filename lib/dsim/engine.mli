@@ -7,6 +7,12 @@
 
 type t
 
+type choice = Take of int | Postpone of Time.Span.t
+    (** A scheduling decision at a choice point: [Take i] runs the [i]-th
+        event (insertion order, clamped) among those sharing the earliest
+        timestamp; [Postpone d] re-enqueues the earliest event [d] later
+        without running anything.  Both keep virtual time monotone. *)
+
 val create : ?seed:int64 -> unit -> t
 (** [create ~seed ()] makes an engine whose virtual clock starts at
     {!Time.epoch}.  Default seed is [1L]. *)
@@ -31,7 +37,18 @@ val run : ?until:Time.t -> ?max_events:int -> t -> unit
     Exceptions raised by callbacks propagate and abort the run. *)
 
 val step : t -> bool
-(** Process a single event; [false] if the queue was empty. *)
+(** Process a single event; [false] if the queue was empty.  When a
+    scheduler hook is installed, the hook picks which ready event runs (or
+    postpones the head); a [Postpone] step performs no callback but still
+    returns [true]. *)
+
+val set_scheduler : t -> (ready:int -> choice) option -> unit
+(** Install (or remove, with [None]) a schedule-exploration hook.  The hook
+    is consulted on every {!step} with [ready] = the number of events
+    sharing the earliest timestamp (>= 1).  Without a hook the engine pops
+    strictly in [(time, insertion)] order — the default deterministic
+    schedule.  Used by [Mc] to enumerate interleavings; a hook that always
+    answers [Take 0] reproduces the default schedule exactly. *)
 
 val pending : t -> int
 (** Number of queued events. *)

@@ -63,6 +63,48 @@ let peek_time h = if h.size = 0 then None else Some (get h 0).at
 let length h = h.size
 let is_empty h = h.size = 0
 
+let ready_count h =
+  if h.size = 0 then 0
+  else begin
+    let at = (get h 0).at in
+    let n = ref 0 in
+    for i = 0 to h.size - 1 do
+      if Time.compare (get h i).at at = 0 then incr n
+    done;
+    !n
+  end
+
+(* Remove the entry at heap index [i], restoring the heap invariant.  The
+   element moved into the hole may need to travel either direction. *)
+let remove_index h i =
+  let e = get h i in
+  h.size <- h.size - 1;
+  if i = h.size then h.heap.(i) <- None
+  else begin
+    h.heap.(i) <- h.heap.(h.size);
+    h.heap.(h.size) <- None;
+    sift_down h i;
+    sift_up h i
+  end;
+  e
+
+let pop_nth h n =
+  if h.size = 0 then None
+  else if n <= 0 then pop h
+  else begin
+    let at = (get h 0).at in
+    let ready = ref [] in
+    for i = h.size - 1 downto 0 do
+      if Time.compare (get h i).at at = 0 then ready := i :: !ready
+    done;
+    let by_seq =
+      List.sort (fun a b -> compare (get h a).seq (get h b).seq) !ready
+    in
+    let n = min n (List.length by_seq - 1) in
+    let e = remove_index h (List.nth by_seq n) in
+    Some (e.at, e.ev)
+  end
+
 let clear h =
   Array.fill h.heap 0 h.size None;
   h.size <- 0

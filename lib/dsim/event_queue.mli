@@ -17,6 +17,17 @@ val pop : 'a t -> (Time.t * 'a) option
 val peek_time : 'a t -> Time.t option
 (** Timestamp of the earliest event without removing it. *)
 
+val ready_count : 'a t -> int
+(** Number of events sharing the earliest timestamp (the "ready set").
+    These are exactly the events whose relative order is a scheduling
+    choice rather than a consequence of virtual time. *)
+
+val pop_nth : 'a t -> int -> (Time.t * 'a) option
+(** [pop_nth q n] removes the [n]-th event (0-based, in insertion order)
+    among those sharing the earliest timestamp; [n] is clamped to the ready
+    set.  [pop_nth q 0] is {!pop}.  This is the choice-point primitive used
+    by the model checker to explore reorderings of simultaneous events. *)
+
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 val clear : 'a t -> unit

@@ -1,0 +1,129 @@
+module Span = Dsim.Time.Span
+
+type violation = {
+  invariant : string;
+  detail : string;
+  seed : int64;
+  counterexample : Schedule.t;
+  original_deviations : int;
+  shrink_runs : int;
+  packet_log : string;
+}
+
+type report = {
+  strategy : string;
+  budget : int;
+  schedules : int;
+  distinct : int;
+  steps_total : int;
+  elapsed_s : float;
+  violations : violation list;
+}
+
+let schedules_per_sec r =
+  if r.elapsed_s <= 0. then 0.
+  else float_of_int r.schedules /. r.elapsed_s
+
+let explore ?(strategy = Strategy.default_random) ?(budget = 500)
+    ?(quantum_us = 200) ?(stop_at_first = true) cfg =
+  let quantum = Span.of_us quantum_us in
+  let gen =
+    Strategy.generator strategy ~base_seed:cfg.Harness.seed ~quantum
+  in
+  let seen = Hashtbl.create (2 * budget) in
+  let violations = ref [] in
+  let runs = ref 0 in
+  let steps_total = ref 0 in
+  let t0 = Sys.time () in
+  (try
+     while !runs < budget do
+       match gen.Strategy.next () with
+       | None -> raise Exit
+       | Some (seed, spec) ->
+           let cfg = { cfg with Harness.seed; record_packets = false } in
+           let outcome, info = Harness.run ~spec cfg in
+           incr runs;
+           steps_total := !steps_total + info.Harness.steps;
+           Hashtbl.replace seen info.Harness.fingerprint ();
+           gen.Strategy.feedback ~spec ~info;
+           (match Invariant.check_all outcome with
+           | [] -> ()
+           | (first_name, _) :: _ ->
+               (* Reproduce deterministically from the applied deviation
+                  trace, then delta-debug it down. *)
+               let fails sched =
+                 let spec = Controller.replay_spec ~quantum sched in
+                 let outcome, _ = Harness.run ~spec cfg in
+                 Invariant.check_all outcome <> []
+               in
+               let counterexample, shrink_runs =
+                 if fails info.Harness.deviations then
+                   Shrink.minimize ~fails info.Harness.deviations
+                 else (info.Harness.deviations, 0)
+               in
+               let final_outcome, _ =
+                 Harness.run
+                   ~spec:(Controller.replay_spec ~quantum counterexample)
+                   { cfg with Harness.record_packets = true }
+               in
+               let invariant, detail =
+                 match Invariant.check_all final_outcome with
+                 | (n, d) :: _ -> (n, d)
+                 | [] -> (first_name, "not reproducible after shrinking")
+               in
+               violations :=
+                 {
+                   invariant;
+                   detail;
+                   seed;
+                   counterexample;
+                   original_deviations =
+                     Schedule.length info.Harness.deviations;
+                   shrink_runs;
+                   packet_log = final_outcome.Invariant.packet_log;
+                 }
+                 :: !violations;
+               if stop_at_first then raise Exit)
+     done
+   with Exit -> ());
+  {
+    strategy = Format.asprintf "%a" Strategy.pp strategy;
+    budget;
+    schedules = !runs;
+    distinct = Hashtbl.length seen;
+    steps_total = !steps_total;
+    elapsed_s = Sys.time () -. t0;
+    violations = List.rev !violations;
+  }
+
+let pp_violation ppf v =
+  Format.fprintf ppf
+    "@[<v>VIOLATION of %s (seed %Ld): %s@,\
+     found with %d deviation(s); shrunk to %d in %d re-run(s)@,\
+     minimal counterexample: %a@]"
+    v.invariant v.seed v.detail v.original_deviations
+    (Schedule.length v.counterexample)
+    v.shrink_runs Schedule.pp v.counterexample;
+  if v.packet_log <> "" then
+    Format.fprintf ppf "@,@[<v>packet log (last %d events):@,%s@]"
+      (List.length (String.split_on_char '\n' v.packet_log) - 1)
+      v.packet_log
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>strategy:           %s@," r.strategy;
+  Format.fprintf ppf "schedules explored: %d (budget %d)@," r.schedules
+    r.budget;
+  Format.fprintf ppf "distinct schedules: %d@," r.distinct;
+  Format.fprintf ppf "events stepped:     %d@," r.steps_total;
+  Format.fprintf ppf "elapsed:            %.2f s (%.1f schedules/s)@,"
+    r.elapsed_s (schedules_per_sec r);
+  Format.fprintf ppf "invariants:         %s@,"
+    (String.concat ", "
+       (List.map (fun (i : Invariant.t) -> i.Invariant.name)
+          (Invariant.all ())));
+  (match r.violations with
+  | [] -> Format.fprintf ppf "violations:         none@]"
+  | vs ->
+      Format.fprintf ppf "violations:         %d@," (List.length vs);
+      Format.pp_print_list pp_violation ppf vs;
+      Format.fprintf ppf "@]")

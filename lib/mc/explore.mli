@@ -1,0 +1,45 @@
+(** Top-level exploration driver.
+
+    Runs the harness under a {!Strategy}, checking every registered
+    {!Invariant} after each schedule.  On a violation the applied
+    deviation trace is replayed to confirm determinism, delta-debugged
+    down to a minimal counterexample ({!Shrink}), and re-run once more
+    with packet recording on so the report can show the
+    [Netsim.Trace] log alongside the minimal reorder trace. *)
+
+type violation = {
+  invariant : string;  (** name of the first violated invariant *)
+  detail : string;
+  seed : int64;  (** harness seed of the failing run *)
+  counterexample : Schedule.t;  (** minimal failing deviation trace *)
+  original_deviations : int;  (** trace length before shrinking *)
+  shrink_runs : int;  (** simulator re-runs spent shrinking *)
+  packet_log : string;  (** packet trace of the minimal replay *)
+}
+
+type report = {
+  strategy : string;
+  budget : int;
+  schedules : int;  (** schedules actually executed *)
+  distinct : int;  (** distinct outcome fingerprints observed *)
+  steps_total : int;  (** simulator events stepped, summed over runs *)
+  elapsed_s : float;
+  violations : violation list;
+}
+
+val schedules_per_sec : report -> float
+
+val explore :
+  ?strategy:Strategy.t ->
+  ?budget:int ->
+  ?quantum_us:int ->
+  ?stop_at_first:bool ->
+  Harness.config ->
+  report
+(** [explore cfg] drives [budget] (default 500) schedules.  [quantum_us]
+    (default 200) is the packet-delay quantum handed to the controller.
+    With [stop_at_first] (default [true]) exploration stops at the first
+    violation; otherwise it keeps going and accumulates them. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,203 @@
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+module Cluster = Scenario.Cluster
+
+type bug = Ignore_buffered_winner
+
+type config = {
+  replicas : int;
+  rounds : int;
+  seed : int64;
+  think_us : int;
+  straggle_us : int;
+  jitter_us : int;
+  latency_us : int;
+  skew_clocks : bool;
+  crash_at_round : int option;
+  bug : bug option;
+  record_packets : bool;
+}
+
+let default =
+  {
+    replicas = 3;
+    rounds = 20;
+    seed = 1L;
+    think_us = 100;
+    straggle_us = 0;
+    jitter_us = 40;
+    latency_us = 20;
+    skew_clocks = true;
+    crash_at_round = None;
+    bug = None;
+    record_packets = false;
+  }
+
+type info = {
+  deviations : Schedule.t;
+  steps : int;
+  packets : int;
+  ties : (int * int) list;
+  fingerprint : int;
+}
+
+let fingerprint observations =
+  let combine acc n = (acc * 1_000_003) + n land max_int in
+  Array.fold_left
+    (List.fold_left (fun acc (o : Invariant.observation) ->
+         combine (combine (combine acc o.replica) o.round) (Time.to_ns o.gc)))
+    0 observations
+
+let run ?(spec = Controller.default_spec) cfg =
+  if cfg.replicas < 2 then invalid_arg "Mc.Harness.run: need >= 2 replicas";
+  if cfg.rounds < 1 then invalid_arg "Mc.Harness.run: need >= 1 round";
+  let clock_config i =
+    if cfg.skew_clocks then
+      {
+        Clock.Hwclock.default_config with
+        offset = Span.of_us (i * 500);
+        drift_ppm = 3.0 *. float_of_int i;
+      }
+    else Clock.Hwclock.default_config
+  in
+  let cluster =
+    Cluster.create ~seed:cfg.seed
+      ~latency:(Netsim.Latency.Constant (Span.of_us cfg.latency_us))
+      ~clock_config ~nodes:cfg.replicas ()
+  in
+  let eng = cluster.Cluster.eng in
+  let net = cluster.Cluster.net in
+  Cluster.start_all cluster;
+  Cluster.run_until cluster (fun () ->
+      Cluster.ring_stable cluster ~on_nodes:(List.init cfg.replicas Fun.id));
+  let group = cluster.Cluster.server_group in
+  let services =
+    Array.map
+      (fun (n : Cluster.node) ->
+        let service =
+          Cts.Service.create eng ~endpoint:n.Cluster.endpoint ~group
+            ~clock:n.Cluster.clock ()
+        in
+        Gcs.Endpoint.join_group n.Cluster.endpoint group ~handler:(fun ev ->
+            match ev with
+            | Gcs.Endpoint.Deliver { msg; _ } ->
+                Cts.Service.on_message service msg
+            | Gcs.Endpoint.View_change v -> Cts.Service.on_view service v
+            | Gcs.Endpoint.Block | Gcs.Endpoint.Evicted -> ());
+        service)
+      cluster.Cluster.nodes
+  in
+  Cluster.run_until cluster (fun () ->
+      Array.for_all
+        (fun (n : Cluster.node) ->
+          List.length (Gcs.Endpoint.members_of n.Cluster.endpoint group)
+          = cfg.replicas)
+        cluster.Cluster.nodes);
+  let tracer =
+    if cfg.record_packets then begin
+      let tr = Netsim.Trace.create ~capacity:256 () in
+      Netsim.Network.attach_trace net tr;
+      Some tr
+    end
+    else None
+  in
+  (* Per-replica think-time streams, split in a fixed order before the
+     controller is installed: a replica's stream does not depend on the
+     schedule, so a replayed run draws identical delays. *)
+  let rngs =
+    Array.init cfg.replicas (fun _ -> Dsim.Rng.split (Dsim.Engine.rng eng))
+  in
+  let obs = Array.make cfg.replicas [] in
+  let finished = ref 0 in
+  let crashed = ref None in
+  let thread = Cts.Thread_id.of_int 1 in
+  let ctrl = Controller.create eng spec in
+  Controller.install ctrl net;
+  Array.iteri
+    (fun i (n : Cluster.node) ->
+      Dsim.Fiber.spawn eng (fun () ->
+          let service = services.(i) in
+          let think =
+            cfg.think_us + if i = 0 then 0 else cfg.straggle_us
+          in
+          (try
+             for round = 1 to cfg.rounds do
+               let extra =
+                 if cfg.jitter_us > 0 then
+                   Dsim.Rng.int_range rngs.(i) 0 cfg.jitter_us
+                 else 0
+               in
+               Dsim.Fiber.sleep eng (Span.of_us (think + extra));
+               let pc = Clock.Hwclock.read n.Cluster.clock in
+               let offset_before = Cts.Service.offset service in
+               let suppressed_before =
+                 (Cts.Service.stats service).Cts.Service.suppressed
+               in
+               let gc = Cts.Service.gettimeofday service ~thread in
+               let suppressed_after =
+                 (Cts.Service.stats service).Cts.Service.suppressed
+               in
+               let gc =
+                 match cfg.bug with
+                 | Some Ignore_buffered_winner
+                   when i = 0 && suppressed_after > suppressed_before ->
+                     (* Deliberately seeded reordering bug (test-only): when
+                        the round's winning CCS message was already buffered
+                        before the round opened (the duplicate-suppression
+                        path), this replica keeps its own proposal instead
+                        of adopting the buffered winner.  Only schedules
+                        that delay this replica past the winner's delivery
+                        expose it. *)
+                     Time.add pc offset_before
+                 | _ -> gc
+               in
+               obs.(i) <-
+                 {
+                   Invariant.replica = i;
+                   round;
+                   gc;
+                   pc;
+                   at = Dsim.Engine.now eng;
+                 }
+                 :: obs.(i);
+               match cfg.crash_at_round with
+               | Some k when round = k && i = cfg.replicas - 1 ->
+                   crashed := Some i;
+                   Gcs.Endpoint.crash n.Cluster.endpoint;
+                   raise Exit
+               | _ -> ()
+             done
+           with Exit -> ());
+          incr finished))
+    cluster.Cluster.nodes;
+  Cluster.run_until ~limit:(Span.of_sec 600) cluster (fun () ->
+      !finished = cfg.replicas);
+  Controller.uninstall ctrl net;
+  let packet_log =
+    match tracer with
+    | Some tr ->
+        Netsim.Network.detach_trace net;
+        Format.asprintf "%a" (Netsim.Trace.pp Totem.Wire.pp) tr
+    | None -> ""
+  in
+  let observations = Array.map List.rev obs in
+  let outcome =
+    {
+      Invariant.replicas = cfg.replicas;
+      rounds = cfg.rounds;
+      observations;
+      stats = Array.map Cts.Service.stats services;
+      crashed = !crashed;
+      packet_log;
+    }
+  in
+  let info =
+    {
+      deviations = Controller.applied ctrl;
+      steps = Controller.steps ctrl;
+      packets = Controller.packets ctrl;
+      ties = Controller.tie_steps ctrl;
+      fingerprint = fingerprint observations;
+    }
+  in
+  (outcome, info)

@@ -1,0 +1,19 @@
+type deviation =
+  | Reorder of { step : int; take : int }
+  | Delay of { packet : int }
+
+type t = deviation list
+
+let empty = []
+let length = List.length
+
+let pp_deviation ppf = function
+  | Reorder { step; take } -> Format.fprintf ppf "take#%d@@step%d" take step
+  | Delay { packet } -> Format.fprintf ppf "delay pkt#%d" packet
+
+let pp ppf = function
+  | [] -> Format.pp_print_string ppf "(default schedule)"
+  | ds ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+        pp_deviation ppf ds

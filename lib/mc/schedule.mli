@@ -1,0 +1,28 @@
+(** Schedules as deviation traces.
+
+    A run of the deterministic simulator is fully described by its root
+    seed plus the list of points where the controller deviated from the
+    default [(time, insertion order)] schedule.  Two kinds of deviation
+    exist, matching the two choice-point hooks:
+
+    - [Reorder]: at engine choice point [step] (the [step]-th call to
+      {!Dsim.Engine.step} after the controller was installed), run the
+      [take]-th of the events sharing the earliest timestamp instead of the
+      first one;
+    - [Delay]: hold the [packet]-th network packet scheduled for delivery
+      after installation back by one controller quantum.
+
+    The empty list is the default schedule.  Deviations are kept in the
+    chronological order they were applied, which is what the shrinker's
+    prefix-truncation relies on. *)
+
+type deviation =
+  | Reorder of { step : int; take : int }
+  | Delay of { packet : int }
+
+type t = deviation list
+
+val empty : t
+val length : t -> int
+val pp_deviation : Format.formatter -> deviation -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+type stats = { mutable attempts : int }
+
+(* Delta-debug a failing deviation trace down to a (locally) minimal one.
+
+   Phase 1 — shortest failing prefix.  Deviations are chronological, so a
+   prefix reproduces the original run exactly up to its last deviation and
+   continues with the default schedule; the smallest failing prefix ends at
+   the last deviation that matters.
+
+   Phase 2 — greedy removal to fixpoint.  Dropping an interior deviation
+   shifts everything after it, so every candidate is re-validated by a full
+   re-run; removals that no longer reproduce the failure are undone. *)
+let minimize ~fails sched =
+  let st = { attempts = 0 } in
+  let fails s =
+    st.attempts <- st.attempts + 1;
+    fails s
+  in
+  let result =
+    if sched = [] || fails [] then []
+    else begin
+      let arr = Array.of_list sched in
+      let n = Array.length arr in
+      let prefix k = Array.to_list (Array.sub arr 0 k) in
+      let shortest = ref n in
+      (try
+         for k = 1 to n - 1 do
+           if fails (prefix k) then begin
+             shortest := k;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      let cur = ref (prefix !shortest) in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        let rec pass kept = function
+          | [] -> List.rev kept
+          | d :: rest ->
+              let candidate = List.rev_append kept rest in
+              if candidate <> [] && fails candidate then begin
+                changed := true;
+                pass kept rest
+              end
+              else pass (d :: kept) rest
+        in
+        cur := pass [] !cur
+      done;
+      !cur
+    end
+  in
+  (result, st.attempts)

@@ -1,0 +1,13 @@
+(** Counterexample shrinker.
+
+    Delta-debugs a failing deviation trace to a locally minimal one:
+    first the shortest failing prefix (deviations are chronological, so a
+    prefix replays the original run exactly up to its cut point), then
+    greedy removal of the remaining deviations to a fixpoint, re-running
+    the simulation for every candidate. *)
+
+val minimize :
+  fails:(Schedule.t -> bool) -> Schedule.t -> Schedule.t * int
+(** [minimize ~fails sched] assumes [fails sched = true] and returns a
+    minimal failing sub-trace together with the number of re-runs spent.
+    If the default schedule itself fails, returns [([], _)]. *)

@@ -1,0 +1,33 @@
+(** Schedule-exploration strategies.
+
+    A strategy is a generator of [(seed, controller spec)] runs:
+
+    - [Random]: seed sweep plus random walk — every run re-seeds the whole
+      cluster (clock jitter, think times) and randomly delays packets /
+      reorders same-time events with the given probabilities;
+    - [Bounded]: bounded-reorder exhaustive search on a fixed seed —
+      systematically enumerates every schedule deviating from the default
+      one in at most [depth] places, using the branching structure
+      (packets, tie steps) reported back from completed runs. *)
+
+type t =
+  | Random of { delay_prob : float; reorder_prob : float }
+  | Bounded of { depth : int }
+
+val default_random : t
+(** [Random] with 1% packet delays and 25% tie reorders. *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> t option
+(** ["random"] or ["bounded"]. *)
+
+type gen = {
+  next : unit -> (int64 * Controller.spec) option;
+      (** The next run to execute, or [None] when the strategy is
+          exhausted. *)
+  feedback : spec:Controller.spec -> info:Harness.info -> unit;
+      (** Report a completed run so the strategy can derive follow-ups. *)
+}
+
+val generator : t -> base_seed:int64 -> quantum:Dsim.Time.Span.t -> gen

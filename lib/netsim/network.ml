@@ -17,6 +17,7 @@ type 'a t = {
       (* per (src, dst) path: FIFO ordering, like a switched LAN *)
   mutable dropped : int;
   mutable tracer : 'a Trace.t option;
+  mutable delay_hook : (src:Node_id.t -> dst:Node_id.t -> Dsim.Time.Span.t) option;
 }
 
 let create eng cfg =
@@ -33,6 +34,7 @@ let create eng cfg =
     last_delivery = Hashtbl.create 64;
     dropped = 0;
     tracer = None;
+    delay_hook = None;
   }
 
 let attach t id handler =
@@ -72,8 +74,14 @@ let deliver t ~src ~dst payload =
     end
     else begin
       let lat = Latency.sample t.rng t.cfg.latency in
-      (* A LAN path delivers in FIFO order: a packet never overtakes an
-         earlier packet on the same (src, dst) path. *)
+      (* Controller-directed extra delay (schedule exploration) is added
+         before the FIFO bump below, so the per-path ordering guarantee
+         holds even for perturbed packets. *)
+      let lat =
+        match t.delay_hook with
+        | Some hook -> Dsim.Time.Span.add lat (hook ~src ~dst)
+        | None -> lat
+      in
       let at = Dsim.Time.add (Dsim.Engine.now t.eng) lat in
       let at =
         match Hashtbl.find_opt t.last_delivery (src, dst) with
@@ -128,3 +136,4 @@ let stats t ~sent id =
 let packets_dropped t = t.dropped
 let attach_trace t tr = t.tracer <- Some tr
 let detach_trace t = t.tracer <- None
+let set_delay_hook t hook = t.delay_hook <- hook

@@ -60,3 +60,13 @@ val attach_trace : 'a t -> 'a Trace.t -> unit
     one trace at a time; replaces any previous one). *)
 
 val detach_trace : 'a t -> unit
+
+val set_delay_hook :
+  'a t -> (src:Node_id.t -> dst:Node_id.t -> Dsim.Time.Span.t) option -> unit
+(** Install (or remove, with [None]) a per-packet perturbation hook,
+    consulted once for every packet about to be scheduled for delivery (not
+    for lost or partitioned packets).  The returned span is added to the
+    sampled latency {e before} the per-path FIFO adjustment, so the no-
+    overtaking guarantee is preserved.  Used by the [Mc] model checker to
+    explore delivery schedules; returning {!Dsim.Time.Span.zero} leaves the
+    packet untouched. *)

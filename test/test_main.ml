@@ -4,4 +4,5 @@ let () =
    @ Test_netsim.suites @ Test_totem.suites @ Test_gcs.suites
    @ Test_cts.suites @ Test_repl.suites @ Test_causal.suites
    @ Test_rpc.suites @ Test_faults.suites @ Test_totem2.suites
-   @ Test_scenario.suites @ Test_interpose.suites @ Test_units.suites @ Test_props.suites)
+   @ Test_scenario.suites @ Test_interpose.suites @ Test_units.suites
+   @ Test_props.suites @ Test_mc.suites)

@@ -1,0 +1,383 @@
+(* Tests for lib/mc — the schedule-exploration model checker: choice-point
+   hooks, deterministic replay, invariant checking, strategies, and the
+   counterexample shrinker (including end-to-end detection of a seeded
+   reordering bug). *)
+
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+module Eq = Dsim.Event_queue
+module Engine = Dsim.Engine
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Event queue choice points *)
+
+let test_ready_count () =
+  let q = Eq.create () in
+  check int "empty" 0 (Eq.ready_count q);
+  Eq.push q (Time.of_us 5) "a";
+  Eq.push q (Time.of_us 5) "b";
+  Eq.push q (Time.of_us 7) "c";
+  Eq.push q (Time.of_us 5) "d";
+  check int "three at earliest" 3 (Eq.ready_count q);
+  ignore (Eq.pop q);
+  check int "two left" 2 (Eq.ready_count q);
+  ignore (Eq.pop q);
+  ignore (Eq.pop q);
+  check int "lone head" 1 (Eq.ready_count q)
+
+let test_pop_nth () =
+  let q = Eq.create () in
+  Eq.push q (Time.of_us 5) "a";
+  Eq.push q (Time.of_us 5) "b";
+  Eq.push q (Time.of_us 5) "c";
+  Eq.push q (Time.of_us 9) "z";
+  (* take the middle of the ready set, then check the rest still pops in
+     insertion order *)
+  check Alcotest.(option string) "nth=1" (Some "b")
+    (Option.map snd (Eq.pop_nth q 1));
+  check Alcotest.(option string) "then a" (Some "a")
+    (Option.map snd (Eq.pop q));
+  check Alcotest.(option string) "then c" (Some "c")
+    (Option.map snd (Eq.pop q));
+  check Alcotest.(option string) "then z" (Some "z")
+    (Option.map snd (Eq.pop q));
+  check bool "drained" true (Eq.is_empty q)
+
+let test_pop_nth_clamped () =
+  let q = Eq.create () in
+  Eq.push q (Time.of_us 1) "a";
+  Eq.push q (Time.of_us 1) "b";
+  Eq.push q (Time.of_us 2) "later";
+  (* n beyond the ready set clamps to its last member, never to "later" *)
+  check Alcotest.(option string) "clamped to b" (Some "b")
+    (Option.map snd (Eq.pop_nth q 99));
+  check Alcotest.(option string) "head intact" (Some "a")
+    (Option.map snd (Eq.pop q))
+
+let test_pop_nth_heap_invariant () =
+  (* removing from the middle of the heap must leave a well-formed heap:
+     drain and verify global (time, insertion) order on what remains *)
+  let q = Eq.create () in
+  for i = 0 to 63 do
+    Eq.push q (Time.of_us (i mod 8)) i
+  done;
+  ignore (Eq.pop_nth q 3);
+  ignore (Eq.pop_nth q 5);
+  let last = ref Time.epoch in
+  let n = ref 0 in
+  let ok = ref true in
+  let rec drain () =
+    match Eq.pop q with
+    | None -> ()
+    | Some (at, _) ->
+        if Time.(at < !last) then ok := false;
+        last := at;
+        incr n;
+        drain ()
+  in
+  drain ();
+  check bool "time order preserved" true !ok;
+  check int "all remaining popped" 62 !n
+
+(* ------------------------------------------------------------------ *)
+(* Engine scheduler hook *)
+
+let test_engine_scheduler_reorder () =
+  let eng = Engine.create () in
+  let order = ref [] in
+  let log tag () = order := tag :: !order in
+  Engine.schedule_at eng (Time.of_us 1) (log "a");
+  Engine.schedule_at eng (Time.of_us 1) (log "b");
+  Engine.schedule_at eng (Time.of_us 1) (log "c");
+  (* reverse the tie: always take the last ready event *)
+  Engine.set_scheduler eng (Some (fun ~ready -> Engine.Take (ready - 1)));
+  Engine.run eng;
+  Engine.set_scheduler eng None;
+  check Alcotest.(list string) "reversed" [ "c"; "b"; "a" ]
+    (List.rev !order)
+
+let test_engine_scheduler_take0_is_default () =
+  let run hook =
+    let eng = Engine.create () in
+    let order = ref [] in
+    for i = 0 to 9 do
+      Engine.schedule_at eng
+        (Time.of_us (i mod 3))
+        (fun () -> order := i :: !order)
+    done;
+    if hook then Engine.set_scheduler eng (Some (fun ~ready:_ -> Engine.Take 0));
+    Engine.run eng;
+    List.rev !order
+  in
+  check Alcotest.(list int) "Take 0 = default schedule" (run false) (run true)
+
+(* ------------------------------------------------------------------ *)
+(* Harness determinism *)
+
+let cfg rounds = { Mc.Harness.default with Mc.Harness.rounds }
+
+let test_harness_deterministic () =
+  let _, i1 = Mc.Harness.run (cfg 8) in
+  let _, i2 = Mc.Harness.run (cfg 8) in
+  check int "same fingerprint" i1.Mc.Harness.fingerprint
+    i2.Mc.Harness.fingerprint;
+  check int "same steps" i1.Mc.Harness.steps i2.Mc.Harness.steps;
+  let o, _ = Mc.Harness.run (cfg 8) in
+  check int "all rounds observed" 8
+    (List.length o.Mc.Invariant.observations.(0))
+
+let test_harness_replay_deviations () =
+  (* a run under a random walk, replayed from its applied trace, is
+     bit-identical *)
+  let spec =
+    {
+      Mc.Controller.forced = [];
+      random =
+        Some
+          { Mc.Controller.seed = 7L; delay_prob = 0.05; reorder_prob = 0.5 };
+      quantum = Span.of_us 200;
+    }
+  in
+  let _, info = Mc.Harness.run ~spec (cfg 8) in
+  check bool "walk deviated" true (info.Mc.Harness.deviations <> []);
+  let replay = Mc.Controller.replay_spec info.Mc.Harness.deviations in
+  let _, info' = Mc.Harness.run ~spec:replay (cfg 8) in
+  check int "replay fingerprint" info.Mc.Harness.fingerprint
+    info'.Mc.Harness.fingerprint
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checks on hand-built outcomes *)
+
+let obs replica round gc_us =
+  {
+    Mc.Invariant.replica;
+    round;
+    gc = Time.of_us gc_us;
+    pc = Time.of_us gc_us;
+    at = Time.of_us (100 * round);
+  }
+
+let stats ?(sent = 0) ?(suppressed = 0) ?(rollbacks = 0) rounds =
+  {
+    Cts.Service.rounds_completed = rounds;
+    ccs_sent = sent;
+    ccs_received = 0;
+    suppressed;
+    rollbacks;
+    max_rollback = Span.zero;
+    last_value = None;
+  }
+
+let outcome observations stats =
+  {
+    Mc.Invariant.replicas = Array.length observations;
+    rounds = 2;
+    observations;
+    stats;
+    crashed = None;
+    packet_log = "";
+  }
+
+let test_invariants_catch_violations () =
+  let names o = List.map fst (Mc.Invariant.check_all o) in
+  (* healthy: two replicas agreeing, monotone, one send + one suppress *)
+  let healthy =
+    outcome
+      [| [ obs 0 1 100; obs 0 2 200 ]; [ obs 1 1 100; obs 1 2 200 ] |]
+      [| stats ~sent:2 2; stats ~suppressed:2 2 |]
+  in
+  check Alcotest.(list string) "healthy passes" [] (names healthy);
+  (* group clock runs backwards at replica 0 *)
+  let backwards =
+    outcome
+      [| [ obs 0 1 200; obs 0 2 100 ]; [ obs 1 1 200; obs 1 2 100 ] |]
+      [| stats ~sent:2 2; stats ~suppressed:2 2 |]
+  in
+  check bool "monotone caught" true (List.mem "monotone" (names backwards));
+  (* replicas disagree on round 2 *)
+  let split =
+    outcome
+      [| [ obs 0 1 100; obs 0 2 200 ]; [ obs 1 1 100; obs 1 2 250 ] |]
+      [| stats ~sent:2 2; stats ~suppressed:2 2 |]
+  in
+  check bool "agreement caught" true (List.mem "agreement" (names split));
+  (* accounting broken: a round with neither send nor suppress *)
+  let lost =
+    outcome
+      [| [ obs 0 1 100; obs 0 2 200 ]; [ obs 1 1 100; obs 1 2 200 ] |]
+      [| stats ~sent:1 2; stats ~suppressed:2 2 |]
+  in
+  check bool "single-synchronizer caught" true
+    (List.mem "single-synchronizer" (names lost));
+  (* a rollback was recorded *)
+  let rolled =
+    outcome
+      [| [ obs 0 1 100; obs 0 2 200 ]; [ obs 1 1 100; obs 1 2 200 ] |]
+      [| stats ~sent:2 ~rollbacks:1 2; stats ~suppressed:2 2 |]
+  in
+  check bool "no-rollback caught" true (List.mem "no-rollback" (names rolled))
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker on a synthetic predicate *)
+
+let test_shrink_synthetic () =
+  let d p = Mc.Schedule.Delay { packet = p } in
+  (* failure needs deviations 2 and 5 together; everything else is noise *)
+  let fails s =
+    List.mem (d 2) s && List.mem (d 5) s
+  in
+  let sched = [ d 0; d 1; d 2; d 3; d 4; d 5; d 6; d 7 ] in
+  let minimal, attempts = Mc.Shrink.minimize ~fails sched in
+  check Alcotest.(list bool) "exactly the two culprits"
+    [ true; true ]
+    (List.map (fun x -> List.mem x minimal) [ d 2; d 5 ]);
+  check int "nothing else" 2 (List.length minimal);
+  check bool "bounded work" true (attempts < 100)
+
+let test_shrink_prefix_only () =
+  let d p = Mc.Schedule.Delay { packet = p } in
+  (* only the first deviation matters: prefix search alone should cut it *)
+  let fails s = List.mem (d 0) s in
+  let minimal, _ = Mc.Shrink.minimize ~fails [ d 0; d 1; d 2; d 3 ] in
+  check int "single deviation" 1 (List.length minimal)
+
+(* ------------------------------------------------------------------ *)
+(* Exploration: current code is clean under perturbation *)
+
+let test_explore_random_clean () =
+  let r =
+    Mc.Explore.explore
+      ~strategy:(Mc.Strategy.Random { delay_prob = 0.02; reorder_prob = 0.3 })
+      ~budget:60 (cfg 8)
+  in
+  check int "all schedules ran" 60 r.Mc.Explore.schedules;
+  check bool "distinct schedules" true (r.Mc.Explore.distinct > 50);
+  check Alcotest.(list string) "no violations" []
+    (List.map
+       (fun v -> v.Mc.Explore.invariant)
+       r.Mc.Explore.violations)
+
+let test_explore_crash_clean () =
+  let c = { (cfg 8) with Mc.Harness.crash_at_round = Some 4 } in
+  let r = Mc.Explore.explore ~budget:40 c in
+  check int "all schedules ran" 40 r.Mc.Explore.schedules;
+  check bool "no violations" true (r.Mc.Explore.violations = [])
+
+let test_explore_bounded_clean () =
+  let r =
+    Mc.Explore.explore ~strategy:(Mc.Strategy.Bounded { depth = 1 })
+      ~budget:120 (cfg 6)
+  in
+  check bool "explored several schedules" true (r.Mc.Explore.schedules > 20);
+  check bool "no violations" true (r.Mc.Explore.violations = [])
+
+(* ------------------------------------------------------------------ *)
+(* End to end: a seeded reordering bug is caught and shrunk *)
+
+(* Replica 0 thinks fast (60 us) while the others straggle (140 us), so
+   under the default schedule replica 0 always opens its rounds first and
+   the Ignore_buffered_winner bug stays dormant.  A schedule that delays
+   the right packet makes another replica's CCS message arrive before
+   replica 0 opens — triggering the buggy suppression path. *)
+let buggy =
+  {
+    Mc.Harness.default with
+    Mc.Harness.rounds = 8;
+    think_us = 60;
+    straggle_us = 80;
+    jitter_us = 5;
+    latency_us = 20;
+    bug = Some Mc.Harness.Ignore_buffered_winner;
+  }
+
+let test_seeded_bug_dormant_by_default () =
+  let o, info = Mc.Harness.run buggy in
+  check Alcotest.(list string) "default schedule passes" []
+    (List.map fst (Mc.Invariant.check_all o));
+  check bool "no deviations applied" true (info.Mc.Harness.deviations = [])
+
+let test_seeded_bug_found_and_shrunk () =
+  let r =
+    Mc.Explore.explore ~strategy:(Mc.Strategy.Bounded { depth = 1 })
+      ~budget:300 buggy
+  in
+  match r.Mc.Explore.violations with
+  | [] -> Alcotest.fail "bounded exploration missed the seeded bug"
+  | v :: _ ->
+      check bool "agreement or monotonicity broken" true
+        (List.mem v.Mc.Explore.invariant [ "agreement"; "monotone" ]);
+      let len = Mc.Schedule.length v.Mc.Explore.counterexample in
+      check bool "counterexample nonempty" true (len > 0);
+      check bool "counterexample minimal (<= 10 deviations)" true (len <= 10);
+      (* the shrunk schedule must still reproduce the violation *)
+      let o, _ =
+        Mc.Harness.run
+          ~spec:(Mc.Controller.replay_spec v.Mc.Explore.counterexample)
+          buggy
+      in
+      check bool "replayable" true (Mc.Invariant.check_all o <> []);
+      check bool "packet log rendered" true (v.Mc.Explore.packet_log <> "")
+
+let test_seeded_bug_random_walk_finds_it () =
+  let r =
+    Mc.Explore.explore
+      ~strategy:(Mc.Strategy.Random { delay_prob = 0.08; reorder_prob = 0.3 })
+      ~budget:400 buggy
+  in
+  check bool "random walk finds the bug too" true
+    (r.Mc.Explore.violations <> [])
+
+(* ------------------------------------------------------------------ *)
+
+let suites =
+  [
+    ( "mc.choice_points",
+      [
+        Alcotest.test_case "ready_count" `Quick test_ready_count;
+        Alcotest.test_case "pop_nth" `Quick test_pop_nth;
+        Alcotest.test_case "pop_nth clamped" `Quick test_pop_nth_clamped;
+        Alcotest.test_case "pop_nth heap invariant" `Quick
+          test_pop_nth_heap_invariant;
+        Alcotest.test_case "scheduler reorder" `Quick
+          test_engine_scheduler_reorder;
+        Alcotest.test_case "scheduler Take 0 = default" `Quick
+          test_engine_scheduler_take0_is_default;
+      ] );
+    ( "mc.harness",
+      [
+        Alcotest.test_case "deterministic" `Quick test_harness_deterministic;
+        Alcotest.test_case "replay deviations" `Quick
+          test_harness_replay_deviations;
+      ] );
+    ( "mc.invariants",
+      [
+        Alcotest.test_case "catch hand-built violations" `Quick
+          test_invariants_catch_violations;
+      ] );
+    ( "mc.shrink",
+      [
+        Alcotest.test_case "two-culprit schedule" `Quick test_shrink_synthetic;
+        Alcotest.test_case "prefix-only" `Quick test_shrink_prefix_only;
+      ] );
+    ( "mc.explore",
+      [
+        Alcotest.test_case "random walk clean" `Quick test_explore_random_clean;
+        Alcotest.test_case "crash perturbation clean" `Quick
+          test_explore_crash_clean;
+        Alcotest.test_case "bounded search clean" `Quick
+          test_explore_bounded_clean;
+      ] );
+    ( "mc.seeded_bug",
+      [
+        Alcotest.test_case "dormant by default" `Quick
+          test_seeded_bug_dormant_by_default;
+        Alcotest.test_case "found and shrunk" `Quick
+          test_seeded_bug_found_and_shrunk;
+        Alcotest.test_case "random walk finds it" `Quick
+          test_seeded_bug_random_walk_finds_it;
+      ] );
+  ]

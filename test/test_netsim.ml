@@ -224,6 +224,50 @@ let test_trace_ring_buffer_bounded () =
   Netsim.Trace.clear tr;
   check int "cleared" 0 (Netsim.Trace.length tr)
 
+let test_trace_eviction_order () =
+  (* exactly the last [capacity] events survive, oldest first, and the
+     window keeps sliding as more events arrive *)
+  let tr = Netsim.Trace.create ~capacity:4 () in
+  let rec times acc = function
+    | [] -> List.rev acc
+    | (e : int Netsim.Trace.entry) :: rest -> times (Time.to_us e.at :: acc) rest
+  in
+  for i = 1 to 4 do
+    Netsim.Trace.record tr ~at:(Time.of_us i)
+      (Netsim.Trace.Sent { src = n 0; dst = None; payload = i })
+  done;
+  check int "at capacity" 4 (Netsim.Trace.length tr);
+  check (Alcotest.list int) "nothing evicted yet" [ 1; 2; 3; 4 ]
+    (times [] (Netsim.Trace.entries tr));
+  Netsim.Trace.record tr ~at:(Time.of_us 5)
+    (Netsim.Trace.Sent { src = n 0; dst = None; payload = 5 });
+  check (Alcotest.list int) "oldest evicted first" [ 2; 3; 4; 5 ]
+    (times [] (Netsim.Trace.entries tr));
+  check int "length pinned at capacity" 4 (Netsim.Trace.length tr);
+  check int "total keeps counting" 5 (Netsim.Trace.total_recorded tr)
+
+let test_trace_clear_then_reuse () =
+  (* clear resets both the window and the total, and the buffer is fully
+     usable afterwards — including wrapping around again *)
+  let tr = Netsim.Trace.create ~capacity:3 () in
+  for i = 1 to 7 do
+    Netsim.Trace.record tr ~at:(Time.of_us i)
+      (Netsim.Trace.Sent { src = n 0; dst = None; payload = i })
+  done;
+  Netsim.Trace.clear tr;
+  check int "length reset" 0 (Netsim.Trace.length tr);
+  check int "total reset" 0 (Netsim.Trace.total_recorded tr);
+  check bool "entries empty" true (Netsim.Trace.entries tr = []);
+  for i = 10 to 14 do
+    Netsim.Trace.record tr ~at:(Time.of_us i)
+      (Netsim.Trace.Sent { src = n 0; dst = None; payload = i })
+  done;
+  check int "refilled past capacity" 3 (Netsim.Trace.length tr);
+  check int "total restarts from zero" 5 (Netsim.Trace.total_recorded tr);
+  match Netsim.Trace.entries tr with
+  | first :: _ -> check int "window slid after reuse" 12 (Time.to_us first.at)
+  | [] -> Alcotest.fail "empty after refill"
+
 let suites =
   [
     ( "netsim",
@@ -248,5 +292,8 @@ let suites =
         Alcotest.test_case "records events" `Quick test_trace_records_events;
         Alcotest.test_case "records drops" `Quick test_trace_records_drops;
         Alcotest.test_case "ring buffer" `Quick test_trace_ring_buffer_bounded;
+        Alcotest.test_case "eviction order" `Quick test_trace_eviction_order;
+        Alcotest.test_case "clear then reuse" `Quick
+          test_trace_clear_then_reuse;
       ] );
   ]
