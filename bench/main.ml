@@ -1,6 +1,8 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation (see DESIGN.md's experiment index) and runs Bechamel
-   micro-benchmarks of the building blocks.
+   evaluation (see DESIGN.md's experiment index), runs Bechamel
+   micro-benchmarks of the building blocks, and emits a machine-readable
+   benchmark trajectory (BENCH_PR2.json, or $CTS_BENCH_JSON) so future
+   PRs can diff their perf numbers against this one.
 
    Run with: dune exec bench/main.exe
    Scale the workloads down for a quick pass with CTS_BENCH_SCALE=0.01. *)
@@ -18,6 +20,37 @@ let ppf = Format.std_formatter
 let section name = Format.fprintf ppf "@.==== %s ====@.@." name
 
 (* ------------------------------------------------------------------ *)
+(* The benchmark-trajectory JSON: every section below contributes the
+   numbers future PRs diff against.  Kept as a flat association of JSON
+   fragments so the emitter stays dependency-free. *)
+
+let json_fields : (string * string) list ref = ref []
+let json_add name fragment = json_fields := (name, fragment) :: !json_fields
+
+let json_path =
+  Option.value ~default:"BENCH_PR2.json" (Sys.getenv_opt "CTS_BENCH_JSON")
+
+let emit_json () =
+  let oc = open_out json_path in
+  output_string oc "{\n";
+  let fields =
+    [
+      ("pr", "2");
+      ("scale", Printf.sprintf "%g" scale);
+      ("cores_available", string_of_int (Domain.recommended_domain_count ()));
+    ]
+    @ List.rev !json_fields
+  in
+  List.iteri
+    (fun i (name, fragment) ->
+      Printf.fprintf oc "  %S: %s%s\n" name fragment
+        (if i = List.length fields - 1 then "" else ","))
+    fields;
+  output_string oc "}\n";
+  close_out oc;
+  Format.fprintf ppf "@.benchmark trajectory written to %s@." json_path
+
+(* ------------------------------------------------------------------ *)
 
 let bench_fig4 () =
   section "E1 / Figure 4: worked example of the CCS algorithm";
@@ -27,6 +60,12 @@ let bench_token () =
   section "M1: token-passing-time calibration (paper ref [20])";
   R.token ppf (E.token_calibration ~rotations:(scaled 10_000) ())
 
+let latency_json (r : E.latency_run) =
+  Printf.sprintf "{\"mean_us\": %.2f, \"p50_us\": %.2f, \"p99_us\": %.2f}"
+    (Stats.Summary.mean r.E.summary)
+    (Stats.Summary.percentile r.E.summary 50.)
+    (Stats.Summary.percentile r.E.summary 99.)
+
 let bench_fig5 () =
   section
     "E2 / Figure 5: end-to-end latency with and without the consistent time \
@@ -35,7 +74,11 @@ let bench_fig5 () =
   Format.fprintf ppf "(%d invocations per run)@." invocations;
   let with_cts = E.latency ~invocations ~use_cts:true () in
   let without_cts = E.latency ~invocations ~use_cts:false () in
-  R.latency_pair ppf ~with_cts ~without_cts
+  R.latency_pair ppf ~with_cts ~without_cts;
+  json_add "fig5"
+    (Printf.sprintf
+       "{\"invocations\": %d, \"with_cts\": %s, \"without_cts\": %s}"
+       invocations (latency_json with_cts) (latency_json without_cts))
 
 let bench_fig6_and_counts () =
   section "E3-E6 / Figure 6: skew, drift and CCS message counts";
@@ -48,7 +91,14 @@ let bench_fig6_and_counts () =
   Format.fprintf ppf "@.";
   R.fig6c ppf run ~rounds:20;
   Format.fprintf ppf "@.";
-  R.msg_counts ppf run
+  R.msg_counts ppf run;
+  json_add "fig6"
+    (Printf.sprintf
+       "{\"rounds\": %d, \"drift_slope_us_per_s\": %.4f, \"ccs_sent_total\": \
+        %d, \"ccs_suppressed_total\": %d}"
+       rounds (E.drift_slope run)
+       (Array.fold_left ( + ) 0 run.E.ccs_sent)
+       (Array.fold_left ( + ) 0 run.E.ccs_suppressed))
 
 let bench_drift () =
   section "A1: drift-compensation ablation (paper section 3.3)";
@@ -128,19 +178,105 @@ let bench_mc () =
   let cfg = { Mc.Harness.default with Mc.Harness.rounds = 8 } in
   let run name strategy =
     let r = Mc.Explore.explore ~strategy ~budget cfg in
-    Format.fprintf ppf "%-28s %6d schedules (%d distinct) in %.2f s — %.0f schedules/s@."
-      name r.Mc.Explore.schedules r.Mc.Explore.distinct r.Mc.Explore.elapsed_s
+    Format.fprintf ppf
+      "%-28s %6d schedules (%d distinct) in %.2f s — %.0f schedules/s@." name
+      r.Mc.Explore.schedules r.Mc.Explore.distinct r.Mc.Explore.elapsed_s
       (Mc.Explore.schedules_per_sec r);
     r
   in
   let random = run "random walk" Mc.Strategy.default_random in
-  let bounded = run "bounded-reorder (depth 1)" (Mc.Strategy.Bounded { depth = 1 }) in
-  (* machine-readable line for the benchmark trajectory *)
+  let bounded =
+    run "bounded-reorder (depth 1)" (Mc.Strategy.Bounded { depth = 1 })
+  in
+  json_add "mc_explore"
+    (Printf.sprintf
+       "{\"schedules\": %d, \"distinct\": %d, \"schedules_per_sec\": %.1f, \
+        \"bounded_schedules_per_sec\": %.1f}"
+       random.Mc.Explore.schedules random.Mc.Explore.distinct
+       (Mc.Explore.schedules_per_sec random)
+       (Mc.Explore.schedules_per_sec bounded))
+
+(* Raw engine throughput: timer events through the unboxed queue, no
+   protocol on top.  The denominator every simulation pays. *)
+let bench_engine_events () =
+  section "MC2: raw engine event throughput";
+  let n = scaled 2_000_000 in
+  let t0 = Mc.Explore.wall () in
+  let eng = Dsim.Engine.create () in
+  let batch = 10_000 in
+  let done_ = ref 0 in
+  while !done_ < n do
+    let k = min batch (n - !done_) in
+    for i = 1 to k do
+      Dsim.Engine.schedule eng (Dsim.Time.Span.of_us (i mod 997)) ignore
+    done;
+    Dsim.Engine.run eng;
+    done_ := !done_ + k
+  done;
+  let dt = Mc.Explore.wall () -. t0 in
+  let per_sec = float_of_int n /. dt in
+  Format.fprintf ppf "%d timer events in %.3f s — %.2e events/s@." n dt
+    per_sec;
+  json_add "engine"
+    (Printf.sprintf "{\"events\": %d, \"events_per_sec\": %.0f}" n per_sec)
+
+(* Multicore exploration scaling: the same random-walk exploration
+   ([ctsim explore --strategy random]) at 1/2/4/8 worker domains.
+   [baseline_pr1_schedules_per_sec] is the PR-1 (pre-optimization,
+   serial-only) number measured on this machine for the identical
+   workload, so the single-domain row doubles as the hot-path speedup
+   measurement. *)
+let baseline_pr1_schedules_per_sec = 3441.3
+
+let bench_mc_scaling () =
+  section "MC3: multicore schedule exploration scaling (Mc.Pool)";
+  let budget = scaled 2_000 in
+  let cfg = { Mc.Harness.default with Mc.Harness.rounds = 12 } in
   Format.fprintf ppf
-    "{\"name\":\"mc_explore\",\"schedules\":%d,\"distinct\":%d,\"schedules_per_sec\":%.1f,\"bounded_schedules_per_sec\":%.1f}@."
-    random.Mc.Explore.schedules random.Mc.Explore.distinct
-    (Mc.Explore.schedules_per_sec random)
-    (Mc.Explore.schedules_per_sec bounded)
+    "(%d schedules per run, 12 rounds, random walk; available cores: %d)@.@."
+    budget
+    (Domain.recommended_domain_count ());
+  Format.fprintf ppf "%-8s %-12s %-10s %-10s %s@." "jobs" "schedules/s"
+    "wall (s)" "cpu (s)" "speedup vs 1 domain";
+  let rows =
+    List.map
+      (fun jobs ->
+        let r = Mc.Pool.explore ~budget ~jobs cfg in
+        (jobs, Mc.Explore.schedules_per_sec r, r.Mc.Explore.elapsed_s,
+         r.Mc.Explore.cpu_s))
+      [ 1; 2; 4; 8 ]
+  in
+  let base = match rows with (_, s, _, _) :: _ -> s | [] -> nan in
+  List.iter
+    (fun (jobs, sps, wall, cpu) ->
+      Format.fprintf ppf "%-8d %-12.1f %-10.2f %-10.2f %.2fx@." jobs sps wall
+        cpu (sps /. base))
+    rows;
+  Format.fprintf ppf
+    "single-domain vs PR-1 baseline (%.1f schedules/s): %.2fx@."
+    baseline_pr1_schedules_per_sec
+    (base /. baseline_pr1_schedules_per_sec);
+  let speedup4 =
+    match List.find_opt (fun (j, _, _, _) -> j = 4) rows with
+    | Some (_, s, _, _) -> s /. base
+    | None -> nan
+  in
+  json_add "explore_scaling"
+    (Printf.sprintf
+       "{\"strategy\": \"random\", \"rounds\": 12, \"budget\": %d, \
+        \"baseline_pr1_schedules_per_sec\": %.1f, \"jobs\": [%s], \
+        \"speedup_1_over_baseline\": %.2f, \"speedup_4_over_1\": %.2f}"
+       budget baseline_pr1_schedules_per_sec
+       (String.concat ", "
+          (List.map
+             (fun (jobs, sps, wall, cpu) ->
+               Printf.sprintf
+                 "{\"jobs\": %d, \"schedules_per_sec\": %.1f, \"wall_s\": \
+                  %.3f, \"cpu_s\": %.3f}"
+                 jobs sps wall cpu)
+             rows))
+       (base /. baseline_pr1_schedules_per_sec)
+       speedup4)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrate                          *)
@@ -253,5 +389,8 @@ let () =
   bench_causal ();
   bench_delivery_mode ();
   bench_mc ();
+  bench_engine_events ();
+  bench_mc_scaling ();
   run_micro ();
+  emit_json ();
   Format.fprintf ppf "@.done.@."

@@ -203,8 +203,15 @@ let explore_cmd =
     let doc = "Keep exploring after the first violation." in
     Arg.(value & flag & info [ "keep-going" ] ~doc)
   in
+  let jobs =
+    let doc =
+      "Worker domains exploring schedules in parallel.  Violations found \
+       and the distinct-schedule count are independent of $(docv)."
+    in
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
   let run seed replicas strategy budget depth rounds crash quantum_us
-      delay_prob reorder_prob keep_going =
+      delay_prob reorder_prob keep_going jobs =
     let strategy =
       match Mc.Strategy.of_string strategy with
       | Some (Mc.Strategy.Random _) ->
@@ -218,6 +225,10 @@ let explore_cmd =
       Format.eprintf "ctsim: explore needs at least 2 replicas@.";
       exit 2
     end;
+    if jobs < 1 then begin
+      Format.eprintf "ctsim: --jobs must be >= 1@.";
+      exit 2
+    end;
     let cfg =
       {
         Mc.Harness.default with
@@ -228,8 +239,8 @@ let explore_cmd =
       }
     in
     let report =
-      Mc.Explore.explore ~strategy ~budget ~quantum_us
-        ~stop_at_first:(not keep_going) cfg
+      Mc.Pool.explore ~strategy ~budget ~quantum_us
+        ~stop_at_first:(not keep_going) ~jobs cfg
     in
     Format.fprintf ppf "%a@." Mc.Explore.pp_report report;
     if report.Mc.Explore.violations <> [] then exit 1
@@ -243,7 +254,7 @@ let explore_cmd =
           after each")
     Term.(
       const run $ seed $ replicas $ strategy $ budget $ depth $ rounds_arg 12
-      $ crash $ quantum_us $ delay_prob $ reorder_prob $ keep_going)
+      $ crash $ quantum_us $ delay_prob $ reorder_prob $ keep_going $ jobs)
 
 let main =
   Cmd.group

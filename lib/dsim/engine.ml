@@ -41,7 +41,16 @@ let run_event t = function
 
 let step t =
   match t.scheduler with
-  | None -> run_event t (Event_queue.pop t.queue)
+  | None ->
+      (* Fast path: no option/tuple per event. *)
+      if Event_queue.is_empty t.queue then false
+      else begin
+        let at = Event_queue.min_time_exn t.queue in
+        let f = Event_queue.pop_min_exn t.queue in
+        t.now <- at;
+        f ();
+        true
+      end
   | Some hook -> (
       match Event_queue.ready_count t.queue with
       | 0 -> false
@@ -67,10 +76,9 @@ let run ?until ?max_events t =
   let horizon_ok () =
     match until with
     | None -> true
-    | Some h -> (
-        match Event_queue.peek_time t.queue with
-        | None -> false
-        | Some at -> Time.(at <= h))
+    | Some h ->
+        (not (Event_queue.is_empty t.queue))
+        && Time.(Event_queue.min_time_exn t.queue <= h)
   in
   while
     (not t.stopped) && !budget > 0 && (not (Event_queue.is_empty t.queue))

@@ -1,27 +1,46 @@
-type 'a entry = { at : Time.t; seq : int; ev : 'a }
+(* Unboxed binary min-heap: three parallel arrays instead of an
+   ['a entry option array].  [at] and [seq] hold immediates, so a push
+   allocates nothing (the old layout boxed an [entry] inside an [option]
+   per element — one allocation and two indirections on every comparison)
+   and sifting compares against flat array slots.
+
+   Slots at index >= size are junk: [ev] slots are scrubbed with [nil]
+   when vacated so popped payloads do not survive their pop. *)
 
 type 'a t = {
-  mutable heap : 'a entry option array;
+  mutable at : Time.t array;
+  mutable seq : int array;
+  mutable ev : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = Array.make 64 None; size = 0; next_seq = 0 }
+(* Written into dead [ev] slots, never read.  Storing an immediate in a
+   pointer array is always sound. *)
+let nil : unit -> 'a = fun () -> Obj.magic 0
 
-let entry_lt a b =
-  match Time.compare a.at b.at with 0 -> a.seq < b.seq | c -> c < 0
+let create () =
+  { at = [||]; seq = [||]; ev = [||]; size = 0; next_seq = 0 }
 
-let get h i = match h.heap.(i) with Some e -> e | None -> assert false
+(* [i] earlier than [j]: primary key time, tie-break insertion order. *)
+let lt h i j =
+  match Time.compare h.at.(i) h.at.(j) with
+  | 0 -> h.seq.(i) < h.seq.(j)
+  | c -> c < 0
 
 let swap h i j =
-  let tmp = h.heap.(i) in
-  h.heap.(i) <- h.heap.(j);
-  h.heap.(j) <- tmp
+  let a = h.at.(i) and s = h.seq.(i) and e = h.ev.(i) in
+  h.at.(i) <- h.at.(j);
+  h.seq.(i) <- h.seq.(j);
+  h.ev.(i) <- h.ev.(j);
+  h.at.(j) <- a;
+  h.seq.(j) <- s;
+  h.ev.(j) <- e
 
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if entry_lt (get h i) (get h parent) then begin
+    if lt h i parent then begin
       swap h i parent;
       sift_up h parent
     end
@@ -30,81 +49,118 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.size && entry_lt (get h l) (get h !smallest) then smallest := l;
-  if r < h.size && entry_lt (get h r) (get h !smallest) then smallest := r;
+  if l < h.size && lt h l !smallest then smallest := l;
+  if r < h.size && lt h r !smallest then smallest := r;
   if !smallest <> i then begin
     swap h i !smallest;
     sift_down h !smallest
   end
 
+let grow h fill =
+  let cap = Array.length h.at in
+  let cap' = if cap = 0 then 64 else 2 * cap in
+  let at = Array.make cap' Time.epoch in
+  let seq = Array.make cap' 0 in
+  let ev = Array.make cap' fill in
+  Array.blit h.at 0 at 0 h.size;
+  Array.blit h.seq 0 seq 0 h.size;
+  Array.blit h.ev 0 ev 0 h.size;
+  h.at <- at;
+  h.seq <- seq;
+  h.ev <- ev
+
 let push h at ev =
-  if h.size = Array.length h.heap then begin
-    let bigger = Array.make (2 * h.size) None in
-    Array.blit h.heap 0 bigger 0 h.size;
-    h.heap <- bigger
-  end;
-  h.heap.(h.size) <- Some { at; seq = h.next_seq; ev };
+  if h.size = Array.length h.at then grow h ev;
+  let i = h.size in
+  h.at.(i) <- at;
+  h.seq.(i) <- h.next_seq;
+  h.ev.(i) <- ev;
   h.next_seq <- h.next_seq + 1;
-  h.size <- h.size + 1;
-  sift_up h (h.size - 1)
+  h.size <- i + 1;
+  sift_up h i
+
+let min_time_exn h =
+  if h.size = 0 then invalid_arg "Event_queue.min_time_exn: empty";
+  h.at.(0)
+
+(* Remove the root without materializing an option or a tuple — the
+   engine's per-event fast path. *)
+let pop_min_exn h =
+  if h.size = 0 then invalid_arg "Event_queue.pop_min_exn: empty";
+  let ev = h.ev.(0) in
+  let last = h.size - 1 in
+  h.size <- last;
+  if last > 0 then begin
+    h.at.(0) <- h.at.(last);
+    h.seq.(0) <- h.seq.(last);
+    h.ev.(0) <- h.ev.(last)
+  end;
+  h.ev.(last) <- nil ();
+  if last > 1 then sift_down h 0;
+  ev
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = get h 0 in
-    h.size <- h.size - 1;
-    h.heap.(0) <- h.heap.(h.size);
-    h.heap.(h.size) <- None;
-    if h.size > 0 then sift_down h 0;
-    Some (top.at, top.ev)
+    let at = h.at.(0) in
+    Some (at, pop_min_exn h)
   end
 
-let peek_time h = if h.size = 0 then None else Some (get h 0).at
+let peek_time h = if h.size = 0 then None else Some h.at.(0)
 let length h = h.size
 let is_empty h = h.size = 0
 
+(* Equal-time entries form a subtree rooted at 0 (an entry at the minimum
+   time forces all its ancestors to the minimum too), so counting can
+   prune every subtree whose root is later: O(ready), not O(size). *)
+let rec count_eq h at i acc =
+  if i >= h.size || Time.compare h.at.(i) at <> 0 then acc
+  else count_eq h at ((2 * i) + 2) (count_eq h at ((2 * i) + 1) (acc + 1))
+
 let ready_count h =
-  if h.size = 0 then 0
-  else begin
-    let at = (get h 0).at in
-    let n = ref 0 in
-    for i = 0 to h.size - 1 do
-      if Time.compare (get h i).at at = 0 then incr n
-    done;
-    !n
-  end
+  if h.size = 0 then 0 else count_eq h h.at.(0) 0 0
 
 (* Remove the entry at heap index [i], restoring the heap invariant.  The
    element moved into the hole may need to travel either direction. *)
 let remove_index h i =
-  let e = get h i in
-  h.size <- h.size - 1;
-  if i = h.size then h.heap.(i) <- None
-  else begin
-    h.heap.(i) <- h.heap.(h.size);
-    h.heap.(h.size) <- None;
+  let ev = h.ev.(i) in
+  let last = h.size - 1 in
+  h.size <- last;
+  if i < last then begin
+    h.at.(i) <- h.at.(last);
+    h.seq.(i) <- h.seq.(last);
+    h.ev.(i) <- h.ev.(last);
     sift_down h i;
     sift_up h i
   end;
-  e
+  h.ev.(last) <- nil ();
+  ev
+
+(* Indices of the ready set, pruned like [count_eq]; order unspecified. *)
+let rec ready_indices h at i acc =
+  if i >= h.size || Time.compare h.at.(i) at <> 0 then acc
+  else
+    ready_indices h at
+      ((2 * i) + 2)
+      (ready_indices h at ((2 * i) + 1) (i :: acc))
 
 let pop_nth h n =
   if h.size = 0 then None
   else if n <= 0 then pop h
   else begin
-    let at = (get h 0).at in
-    let ready = ref [] in
-    for i = h.size - 1 downto 0 do
-      if Time.compare (get h i).at at = 0 then ready := i :: !ready
-    done;
+    let at = h.at.(0) in
     let by_seq =
-      List.sort (fun a b -> compare (get h a).seq (get h b).seq) !ready
+      List.sort
+        (fun a b -> compare h.seq.(a) h.seq.(b))
+        (ready_indices h at 0 [])
     in
     let n = min n (List.length by_seq - 1) in
-    let e = remove_index h (List.nth by_seq n) in
-    Some (e.at, e.ev)
+    Some (at, remove_index h (List.nth by_seq n))
   end
 
 let clear h =
-  Array.fill h.heap 0 h.size None;
+  let n = nil () in
+  for i = 0 to h.size - 1 do
+    h.ev.(i) <- n
+  done;
   h.size <- 0

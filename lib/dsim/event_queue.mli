@@ -14,6 +14,15 @@ val push : 'a t -> Time.t -> 'a -> unit
 val pop : 'a t -> (Time.t * 'a) option
 (** Remove and return the earliest event, or [None] if empty. *)
 
+val pop_min_exn : 'a t -> 'a
+(** Remove the earliest event and return its payload without allocating.
+    Check {!is_empty} (or read {!min_time_exn}) first; raises
+    [Invalid_argument] on an empty queue.  The engine's per-event fast
+    path. *)
+
+val min_time_exn : 'a t -> Time.t
+(** Timestamp of the earliest event; raises [Invalid_argument] if empty. *)
+
 val peek_time : 'a t -> Time.t option
 (** Timestamp of the earliest event without removing it. *)
 

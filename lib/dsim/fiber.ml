@@ -4,20 +4,29 @@ type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
 (* Fiber identity: set while a fiber's code runs (including after every
    resumption), cleared around it.  Fibers are cooperative, so a simple
-   save/restore discipline is enough. *)
-let next_id = ref 0
-let current : int option ref = ref None
-let current_id () = !current
+   save/restore discipline is enough.  Both cells are domain-local: each
+   domain runs its own engine (Mc.Pool gives every worker domain a private
+   simulator), and fiber identity must not bleed between them. *)
+let next_id_key = Domain.DLS.new_key (fun () -> ref 0)
+let current_key : int option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_id () = !(Domain.DLS.get current_key)
+
+let fresh_id () =
+  let r = Domain.DLS.get next_id_key in
+  incr r;
+  !r
 
 let with_id id f =
+  let current = Domain.DLS.get current_key in
   let prev = !current in
   current := Some id;
   Fun.protect ~finally:(fun () -> current := prev) f
 
 let spawn eng f =
   let open Effect.Deep in
-  incr next_id;
-  let id = !next_id in
+  let id = fresh_id () in
   let handler =
     {
       effc =

@@ -13,16 +13,61 @@ type violation = {
 type report = {
   strategy : string;
   budget : int;
+  jobs : int;
   schedules : int;
   distinct : int;
   steps_total : int;
   elapsed_s : float;
+  cpu_s : float;
   violations : violation list;
 }
+
+(* Monotonic wall clock.  [Sys.time] is process CPU time: it over-reports
+   on a loaded machine and, with several domains running, advances [jobs]
+   times faster than the wall — useless as a throughput denominator.  We
+   report both: wall time for schedules/sec, CPU time for efficiency. *)
+let wall () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+let cpu () = Sys.time ()
 
 let schedules_per_sec r =
   if r.elapsed_s <= 0. then 0.
   else float_of_int r.schedules /. r.elapsed_s
+
+(* Reproduce a violating run deterministically from its applied deviation
+   trace, delta-debug the trace down, and re-run the minimal schedule once
+   more with packet recording on.  Pure sequential — the parallel explorer
+   funnels every violation through here, in schedule order, so reports are
+   independent of domain count. *)
+let build_violation ~quantum cfg ~seed ~first_invariant ~deviations =
+  let cfg = { cfg with Harness.seed; record_packets = false } in
+  let fails sched =
+    let spec = Controller.replay_spec ~quantum sched in
+    let outcome, _ = Harness.run ~spec cfg in
+    Invariant.check_all outcome <> []
+  in
+  let counterexample, shrink_runs =
+    if fails deviations then Shrink.minimize ~fails deviations
+    else (deviations, 0)
+  in
+  let final_outcome, _ =
+    Harness.run
+      ~spec:(Controller.replay_spec ~quantum counterexample)
+      { cfg with Harness.record_packets = true }
+  in
+  let invariant, detail =
+    match Invariant.check_all final_outcome with
+    | (n, d) :: _ -> (n, d)
+    | [] -> (first_invariant, "not reproducible after shrinking")
+  in
+  {
+    invariant;
+    detail;
+    seed;
+    counterexample;
+    original_deviations = Schedule.length deviations;
+    shrink_runs;
+    packet_log = final_outcome.Invariant.packet_log;
+  }
 
 let explore ?(strategy = Strategy.default_random) ?(budget = 500)
     ?(quantum_us = 200) ?(stop_at_first = true) cfg =
@@ -34,7 +79,8 @@ let explore ?(strategy = Strategy.default_random) ?(budget = 500)
   let violations = ref [] in
   let runs = ref 0 in
   let steps_total = ref 0 in
-  let t0 = Sys.time () in
+  let t0 = wall () in
+  let c0 = cpu () in
   (try
      while !runs < budget do
        match gen.Strategy.next () with
@@ -49,39 +95,9 @@ let explore ?(strategy = Strategy.default_random) ?(budget = 500)
            (match Invariant.check_all outcome with
            | [] -> ()
            | (first_name, _) :: _ ->
-               (* Reproduce deterministically from the applied deviation
-                  trace, then delta-debug it down. *)
-               let fails sched =
-                 let spec = Controller.replay_spec ~quantum sched in
-                 let outcome, _ = Harness.run ~spec cfg in
-                 Invariant.check_all outcome <> []
-               in
-               let counterexample, shrink_runs =
-                 if fails info.Harness.deviations then
-                   Shrink.minimize ~fails info.Harness.deviations
-                 else (info.Harness.deviations, 0)
-               in
-               let final_outcome, _ =
-                 Harness.run
-                   ~spec:(Controller.replay_spec ~quantum counterexample)
-                   { cfg with Harness.record_packets = true }
-               in
-               let invariant, detail =
-                 match Invariant.check_all final_outcome with
-                 | (n, d) :: _ -> (n, d)
-                 | [] -> (first_name, "not reproducible after shrinking")
-               in
                violations :=
-                 {
-                   invariant;
-                   detail;
-                   seed;
-                   counterexample;
-                   original_deviations =
-                     Schedule.length info.Harness.deviations;
-                   shrink_runs;
-                   packet_log = final_outcome.Invariant.packet_log;
-                 }
+                 build_violation ~quantum cfg ~seed ~first_invariant:first_name
+                   ~deviations:info.Harness.deviations
                  :: !violations;
                if stop_at_first then raise Exit)
      done
@@ -89,10 +105,12 @@ let explore ?(strategy = Strategy.default_random) ?(budget = 500)
   {
     strategy = Format.asprintf "%a" Strategy.pp strategy;
     budget;
+    jobs = 1;
     schedules = !runs;
     distinct = Hashtbl.length seen;
     steps_total = !steps_total;
-    elapsed_s = Sys.time () -. t0;
+    elapsed_s = wall () -. t0;
+    cpu_s = cpu () -. c0;
     violations = List.rev !violations;
   }
 
@@ -113,10 +131,12 @@ let pp_report ppf r =
   Format.fprintf ppf "@[<v>strategy:           %s@," r.strategy;
   Format.fprintf ppf "schedules explored: %d (budget %d)@," r.schedules
     r.budget;
+  if r.jobs > 1 then Format.fprintf ppf "worker domains:     %d@," r.jobs;
   Format.fprintf ppf "distinct schedules: %d@," r.distinct;
   Format.fprintf ppf "events stepped:     %d@," r.steps_total;
-  Format.fprintf ppf "elapsed:            %.2f s (%.1f schedules/s)@,"
-    r.elapsed_s (schedules_per_sec r);
+  Format.fprintf ppf
+    "elapsed:            %.2f s wall, %.2f s cpu (%.1f schedules/s)@,"
+    r.elapsed_s r.cpu_s (schedules_per_sec r);
   Format.fprintf ppf "invariants:         %s@,"
     (String.concat ", "
        (List.map (fun (i : Invariant.t) -> i.Invariant.name)

@@ -5,7 +5,12 @@
     deviation trace is replayed to confirm determinism, delta-debugged
     down to a minimal counterexample ({!Shrink}), and re-run once more
     with packet recording on so the report can show the
-    [Netsim.Trace] log alongside the minimal reorder trace. *)
+    [Netsim.Trace] log alongside the minimal reorder trace.
+
+    This module is the sequential reference; {!Pool} fans the same
+    exploration out over worker domains and produces the same report
+    type (and, for a given strategy/budget/seed, the same violations and
+    distinct-schedule count). *)
 
 type violation = {
   invariant : string;  (** name of the first violated invariant *)
@@ -20,14 +25,23 @@ type violation = {
 type report = {
   strategy : string;
   budget : int;
+  jobs : int;  (** worker domains that executed the schedules (1 = serial) *)
   schedules : int;  (** schedules actually executed *)
   distinct : int;  (** distinct outcome fingerprints observed *)
   steps_total : int;  (** simulator events stepped, summed over runs *)
-  elapsed_s : float;
+  elapsed_s : float;  (** wall time, monotonic clock *)
+  cpu_s : float;  (** process CPU time, aggregated over all domains *)
   violations : violation list;
 }
 
 val schedules_per_sec : report -> float
+(** Schedules per wall-clock second. *)
+
+val wall : unit -> float
+(** Monotonic wall clock in seconds (arbitrary origin). *)
+
+val cpu : unit -> float
+(** Process CPU time in seconds, summed over every running domain. *)
 
 val explore :
   ?strategy:Strategy.t ->
@@ -40,6 +54,18 @@ val explore :
     (default 200) is the packet-delay quantum handed to the controller.
     With [stop_at_first] (default [true]) exploration stops at the first
     violation; otherwise it keeps going and accumulates them. *)
+
+val build_violation :
+  quantum:Dsim.Time.Span.t ->
+  Harness.config ->
+  seed:int64 ->
+  first_invariant:string ->
+  deviations:Schedule.t ->
+  violation
+(** Confirm, shrink and render one violating run (sequentially).  Shared
+    with {!Pool}, which performs discovery in parallel but always shrinks
+    on the calling domain, in schedule order, so its reports do not
+    depend on domain count. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,182 @@
+module Span = Dsim.Time.Span
+
+(* One completed schedule, as recorded by whichever worker domain ran it.
+   [violated] is the first broken invariant's name; confirmation and
+   shrinking happen later, sequentially, on the calling domain. *)
+type run_result = {
+  seed : int64;
+  spec : Controller.spec;
+  info : Harness.info;
+  violated : string option;
+}
+
+let exec cfg (seed, spec) =
+  let rcfg = { cfg with Harness.seed = seed; record_packets = false } in
+  let outcome, info = Harness.run ~spec rcfg in
+  let violated =
+    match Invariant.check_all outcome with
+    | [] -> None
+    | (name, _) :: _ -> Some name
+  in
+  { seed; spec; info; violated }
+
+(* Record a violation at index [i] so the dispenser can stop handing out
+   chunks past it.  The minimum only ever decreases, and chunks are
+   dispensed in index order, so every index at or below the final minimum
+   is guaranteed to have been executed. *)
+let note_violation min_viol i =
+  let rec upd () =
+    let cur = Atomic.get min_viol in
+    if i < cur && not (Atomic.compare_and_set min_viol cur i) then upd ()
+  in
+  upd ()
+
+(* Run tasks [0, n) over [jobs] domains.  Each worker owns a private
+   simulator per run (Harness builds everything from the seed), pulls
+   chunks of indices from a mutex-guarded dispenser, and writes results
+   into disjoint slots of a shared array.  With [stop_at_first], chunks
+   starting past the lowest violating index found so far are skipped —
+   the executed set then depends on timing, but always covers the prefix
+   up to the first violation, which is all the merge reads. *)
+let run_tasks ~jobs ~stop_at_first cfg n task =
+  let results = Array.make n None in
+  if n > 0 then begin
+    let next = ref 0 in
+    let min_viol = Atomic.make max_int in
+    let m = Mutex.create () in
+    let chunk = max 1 (min 64 (n / (jobs * 4))) in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        Mutex.lock m;
+        let lo = !next in
+        if lo >= n || (stop_at_first && lo > Atomic.get min_viol) then begin
+          Mutex.unlock m;
+          continue := false
+        end
+        else begin
+          let hi = min n (lo + chunk) in
+          next := hi;
+          Mutex.unlock m;
+          for i = lo to hi - 1 do
+            let r = exec cfg (task i) in
+            if r.violated <> None then note_violation min_viol i;
+            results.(i) <- Some r
+          done
+        end
+      done
+    in
+    let extra = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join extra
+  end;
+  results
+
+let explore_random ~delay_prob ~reorder_prob ~quantum ~jobs ~stop_at_first
+    ~budget cfg =
+  let base_seed = cfg.Harness.seed in
+  run_tasks ~jobs ~stop_at_first cfg budget (fun i ->
+      Strategy.random_run ~base_seed ~quantum ~delay_prob ~reorder_prob i)
+
+(* Bounded-reorder BFS, one generation per wave.  A spec's children
+   depend only on its own run, so expanding wave [k] in full before
+   launching wave [k+1] reproduces the sequential generator's FIFO order
+   exactly, whatever the domain count. *)
+let explore_bounded ~depth ~quantum ~jobs ~stop_at_first ~budget cfg =
+  let seed = cfg.Harness.seed in
+  let waves = ref [] in
+  let count = ref 0 in
+  let stop = ref false in
+  let frontier = ref [ { Controller.forced = []; random = None; quantum } ] in
+  while (not !stop) && !frontier <> [] && !count < budget do
+    let wave =
+      Array.of_list (List.filteri (fun i _ -> i < budget - !count) !frontier)
+    in
+    let results =
+      run_tasks ~jobs ~stop_at_first cfg (Array.length wave) (fun i ->
+          (seed, wave.(i)))
+    in
+    waves := results :: !waves;
+    count := !count + Array.length wave;
+    if Array.exists (function Some { violated = Some _; _ } -> true | _ -> false)
+         results
+       && stop_at_first
+    then stop := true
+    else
+      frontier :=
+        Array.to_list results
+        |> List.concat_map (function
+             | Some r
+               when Schedule.length r.spec.Controller.forced < depth ->
+                 Strategy.bounded_children ~quantum ~parent:r.spec
+                   ~info:r.info
+             | _ -> [])
+  done;
+  Array.concat (List.rev !waves)
+
+let explore ?(strategy = Strategy.default_random) ?(budget = 500)
+    ?(quantum_us = 200) ?(stop_at_first = true) ?(jobs = 1) cfg =
+  if jobs < 1 then invalid_arg "Mc.Pool.explore: jobs must be >= 1";
+  let quantum = Span.of_us quantum_us in
+  let t0 = Explore.wall () in
+  let c0 = Explore.cpu () in
+  let executed =
+    match strategy with
+    | Strategy.Random { delay_prob; reorder_prob } ->
+        explore_random ~delay_prob ~reorder_prob ~quantum ~jobs
+          ~stop_at_first ~budget cfg
+    | Strategy.Bounded { depth } ->
+        explore_bounded ~depth ~quantum ~jobs ~stop_at_first ~budget cfg
+  in
+  (* Deterministic merge: everything is computed from the prefix that ends
+     at the first violating schedule (or the whole run when clean), so the
+     report does not depend on how far past it other domains raced. *)
+  let first_viol = ref None in
+  Array.iteri
+    (fun i r ->
+      match (r, !first_viol) with
+      | Some { violated = Some _; _ }, None -> first_viol := Some i
+      | _ -> ())
+    executed;
+  let cutoff =
+    match !first_viol with
+    | Some v when stop_at_first -> v
+    | _ -> Array.length executed - 1
+  in
+  let seen = Hashtbl.create 1024 in
+  let steps_total = ref 0 in
+  let raw_violations = ref [] in
+  for i = 0 to cutoff do
+    match executed.(i) with
+    | None -> assert false (* prefix up to [cutoff] is always executed *)
+    | Some r ->
+        steps_total := !steps_total + r.info.Harness.steps;
+        Hashtbl.replace seen r.info.Harness.fingerprint ();
+        (match r.violated with
+        | Some name -> raw_violations := (r, name) :: !raw_violations
+        | None -> ())
+  done;
+  let raw_violations = List.rev !raw_violations in
+  let raw_violations =
+    if stop_at_first then
+      match raw_violations with [] -> [] | v :: _ -> [ v ]
+    else raw_violations
+  in
+  let violations =
+    List.map
+      (fun (r, name) ->
+        Explore.build_violation ~quantum cfg ~seed:r.seed
+          ~first_invariant:name ~deviations:r.info.Harness.deviations)
+      raw_violations
+  in
+  {
+    Explore.strategy = Format.asprintf "%a" Strategy.pp strategy;
+    budget;
+    jobs;
+    schedules = cutoff + 1;
+    distinct = Hashtbl.length seen;
+    steps_total = !steps_total;
+    elapsed_s = Explore.wall () -. t0;
+    cpu_s = Explore.cpu () -. c0;
+    violations;
+  }

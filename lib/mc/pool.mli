@@ -1,0 +1,38 @@
+(** Multicore schedule exploration.
+
+    Fans the {!Explore} loop out over [jobs] worker domains (OCaml 5
+    [Domain]s).  Every harness run is a pure function of its seed and
+    controller spec, and each domain builds its own engine, network and
+    RNGs, so workers share nothing but the work dispenser — a
+    mutex-guarded index counter — and the result array, whose slots are
+    written by exactly one worker each.
+
+    Reports are deterministic: for a fixed strategy, budget and seed, the
+    violation list and the distinct-schedule count are identical whatever
+    [jobs] is, and identical to the sequential {!Explore.explore}.
+
+    - [Random]: the run-index space [0, budget) is partitioned into
+      chunks; run [i]'s seed and walk are pure functions of [i]
+      ({!Strategy.random_run}).
+    - [Bounded]: breadth-first over deviation prefixes, one generation
+      per wave; a parent's children depend only on its own run, so the
+      frontier is independent of scheduling.
+
+    The merge dedupes schedules by outcome fingerprint, orders violations
+    by schedule index, and confirms/shrinks each violation sequentially
+    on the calling domain ({!Explore.build_violation}).  With
+    [stop_at_first], the report covers exactly the schedule prefix up to
+    the first violation — domains may race a little past it, but the
+    extra runs are discarded, not reported. *)
+
+val explore :
+  ?strategy:Strategy.t ->
+  ?budget:int ->
+  ?quantum_us:int ->
+  ?stop_at_first:bool ->
+  ?jobs:int ->
+  Harness.config ->
+  Explore.report
+(** [explore ~jobs cfg] is {!Explore.explore} distributed over [jobs]
+    worker domains (default 1: run everything on the calling domain, no
+    domain is spawned).  Raises [Invalid_argument] if [jobs < 1]. *)

@@ -31,23 +31,26 @@ let derive base i salt =
   let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   logxor z (shift_right_logical z 27)
 
-(* Seed sweep + random walk: every run gets a fresh cluster seed and a
-   fresh stream of random delay/reorder decisions. *)
+(* The [i]-th run of the seed sweep + random walk: a fresh cluster seed
+   and a fresh stream of random delay/reorder decisions, as a pure
+   function of [i] — so the run space can be partitioned across domains
+   (Pool) as well as walked sequentially (the generator below). *)
+let random_run ~base_seed ~quantum ~delay_prob ~reorder_prob i =
+  let harness_seed = derive base_seed i 0 in
+  let walk_seed = derive base_seed i 1 in
+  ( harness_seed,
+    {
+      Controller.forced = [];
+      random = Some { Controller.seed = walk_seed; delay_prob; reorder_prob };
+      quantum;
+    } )
+
 let random_gen ~base_seed ~quantum ~delay_prob ~reorder_prob =
   let i = ref 0 in
   let next () =
     let run = !i in
     incr i;
-    let harness_seed = derive base_seed run 0 in
-    let walk_seed = derive base_seed run 1 in
-    Some
-      ( harness_seed,
-        {
-          Controller.forced = [];
-          random =
-            Some { Controller.seed = walk_seed; delay_prob; reorder_prob };
-          quantum;
-        } )
+    Some (random_run ~base_seed ~quantum ~delay_prob ~reorder_prob run)
   in
   { next; feedback = (fun ~spec:_ ~info:_ -> ()) }
 
@@ -57,34 +60,38 @@ let random_gen ~base_seed ~quantum ~delay_prob ~reorder_prob =
    (packet count + tie steps); children extend a parent's trace with one
    later deviation.  Packet delays come first — they displace whole
    protocol exchanges and are the higher-yield perturbation. *)
+let bounded_children ~quantum ~(parent : Controller.spec)
+    ~(info : Harness.info) =
+  let parent = parent.Controller.forced in
+  let last_packet, last_step =
+    List.fold_left
+      (fun (p, s) d ->
+        match d with
+        | Schedule.Delay { packet } -> (max p packet, s)
+        | Schedule.Reorder { step; _ } -> (p, max s step))
+      (-1, -1) parent
+  in
+  let delays =
+    List.init info.Harness.packets Fun.id
+    |> List.filter (fun p -> p > last_packet)
+    |> List.map (fun packet -> parent @ [ Schedule.Delay { packet } ])
+  in
+  let reorders =
+    info.Harness.ties
+    |> List.filter (fun (step, _) -> step > last_step)
+    |> List.concat_map (fun (step, ready) ->
+           List.init (ready - 1) (fun j ->
+               parent @ [ Schedule.Reorder { step; take = j + 1 } ]))
+  in
+  List.map
+    (fun forced -> { Controller.forced; random = None; quantum })
+    (delays @ reorders)
+
 let bounded_gen ~base_seed ~quantum ~depth =
   let pending : (int64 * Controller.spec) Queue.t = Queue.create () in
   let spawned = Hashtbl.create 64 in
   Queue.push (base_seed, { Controller.forced = []; random = None; quantum })
     pending;
-  let children (parent : Schedule.t) (info : Harness.info) =
-    let last_packet, last_step =
-      List.fold_left
-        (fun (p, s) d ->
-          match d with
-          | Schedule.Delay { packet } -> (max p packet, s)
-          | Schedule.Reorder { step; _ } -> (p, max s step))
-        (-1, -1) parent
-    in
-    let delays =
-      List.init info.packets Fun.id
-      |> List.filter (fun p -> p > last_packet)
-      |> List.map (fun packet -> parent @ [ Schedule.Delay { packet } ])
-    in
-    let reorders =
-      info.ties
-      |> List.filter (fun (step, _) -> step > last_step)
-      |> List.concat_map (fun (step, ready) ->
-             List.init (ready - 1) (fun j ->
-                 parent @ [ Schedule.Reorder { step; take = j + 1 } ]))
-    in
-    delays @ reorders
-  in
   let next () =
     match Queue.take_opt pending with
     | None -> None
@@ -96,11 +103,8 @@ let bounded_gen ~base_seed ~quantum ~depth =
       if not (Hashtbl.mem spawned key) then begin
         Hashtbl.replace spawned key ();
         List.iter
-          (fun forced ->
-            Queue.push
-              (base_seed, { Controller.forced; random = None; quantum })
-              pending)
-          (children spec.Controller.forced info)
+          (fun child -> Queue.push (base_seed, child) pending)
+          (bounded_children ~quantum ~parent:spec ~info)
       end
     end
   in

@@ -31,3 +31,25 @@ type gen = {
 }
 
 val generator : t -> base_seed:int64 -> quantum:Dsim.Time.Span.t -> gen
+
+val random_run :
+  base_seed:int64 ->
+  quantum:Dsim.Time.Span.t ->
+  delay_prob:float ->
+  reorder_prob:float ->
+  int ->
+  int64 * Controller.spec
+(** The [i]-th run of the [Random] strategy, as a pure function of [i]:
+    run indices can be partitioned across worker domains ({!Mc.Pool}) and
+    still enumerate exactly the sequential generator's runs. *)
+
+val bounded_children :
+  quantum:Dsim.Time.Span.t ->
+  parent:Controller.spec ->
+  info:Harness.info ->
+  Controller.spec list
+(** The one-deviation extensions of [parent] exposed by its run's
+    branching structure ([info]) — the [Bounded] strategy's expansion
+    rule, shared by the sequential generator and the wave-parallel
+    explorer.  Depends only on [parent] and [info], so the BFS frontier
+    is deterministic however runs are scheduled. *)

@@ -10,11 +10,16 @@ type 'a t = {
   rng : Dsim.Rng.t;
   mutable cfg : config;
   ports : (Node_id.t, 'a port) Hashtbl.t;
+  mutable members : Node_id.t list;
+      (* attached nodes, sorted ascending — cached so [broadcast] does not
+         re-sort the member set per multicast *)
   mutable groups : Node_id.Set.t list; (* empty list = no partition *)
   sent : (Node_id.t, int) Hashtbl.t;
   delivered : (Node_id.t, int) Hashtbl.t;
-  last_delivery : (Node_id.t * Node_id.t, Dsim.Time.t) Hashtbl.t;
-      (* per (src, dst) path: FIFO ordering, like a switched LAN *)
+  last_delivery : (Node_id.t, (Node_id.t, Dsim.Time.t) Hashtbl.t) Hashtbl.t;
+      (* per (src, dst) path: FIFO ordering, like a switched LAN.  Nested
+         by src so a lookup hashes two immediates instead of boxing a
+         tuple per packet. *)
   mutable dropped : int;
   mutable tracer : 'a Trace.t option;
   mutable delay_hook : (src:Node_id.t -> dst:Node_id.t -> Dsim.Time.Span.t) option;
@@ -28,6 +33,7 @@ let create eng cfg =
     rng = Dsim.Rng.split (Dsim.Engine.rng eng);
     cfg;
     ports = Hashtbl.create 16;
+    members = [];
     groups = [];
     sent = Hashtbl.create 16;
     delivered = Hashtbl.create 16;
@@ -41,14 +47,19 @@ let attach t id handler =
   if Hashtbl.mem t.ports id then
     invalid_arg
       (Format.asprintf "Network.attach: %a already attached" Node_id.pp id);
-  Hashtbl.replace t.ports id { handler }
+  Hashtbl.replace t.ports id { handler };
+  t.members <- List.sort Node_id.compare (id :: t.members)
 
-let detach t id = Hashtbl.remove t.ports id
+let detach t id =
+  Hashtbl.remove t.ports id;
+  t.members <- List.filter (fun n -> not (Node_id.equal n id)) t.members
+
 let attached t id = Hashtbl.mem t.ports id
+let nodes t = t.members
 
-let nodes t =
-  Hashtbl.fold (fun id _ acc -> id :: acc) t.ports []
-  |> List.sort Node_id.compare
+(* Call sites guard with [tracing] so the trace event (a boxed record per
+   packet) is never even constructed when no tracer is attached. *)
+let tracing t = t.tracer <> None
 
 let trace_event t ev =
   match t.tracer with
@@ -66,11 +77,21 @@ let reachable t ~src ~dst =
         (fun g -> Node_id.Set.mem src g && Node_id.Set.mem dst g)
         groups
 
+let paths_from t src =
+  match Hashtbl.find_opt t.last_delivery src with
+  | Some inner -> inner
+  | None ->
+      let inner = Hashtbl.create 8 in
+      Hashtbl.replace t.last_delivery src inner;
+      inner
+
 let deliver t ~src ~dst payload =
   if reachable t ~src ~dst then
     if t.cfg.loss > 0. && Dsim.Rng.float t.rng 1.0 < t.cfg.loss then begin
       t.dropped <- t.dropped + 1;
-      trace_event t (Trace.Dropped { src; dst; payload; reason = Trace.Loss })
+      if tracing t then
+        trace_event t
+          (Trace.Dropped { src; dst; payload; reason = Trace.Loss })
     end
     else begin
       let lat = Latency.sample t.rng t.cfg.latency in
@@ -83,42 +104,48 @@ let deliver t ~src ~dst payload =
         | None -> lat
       in
       let at = Dsim.Time.add (Dsim.Engine.now t.eng) lat in
+      let paths = paths_from t src in
       let at =
-        match Hashtbl.find_opt t.last_delivery (src, dst) with
+        match Hashtbl.find_opt paths dst with
         | Some prev when Dsim.Time.(at <= prev) ->
             Dsim.Time.add prev (Dsim.Time.Span.of_ns 1)
         | _ -> at
       in
-      Hashtbl.replace t.last_delivery (src, dst) at;
+      Hashtbl.replace paths dst at;
       Dsim.Engine.schedule_at t.eng at (fun () ->
           (* The destination may have crashed while the packet was in
              flight. *)
           match Hashtbl.find_opt t.ports dst with
           | None ->
               t.dropped <- t.dropped + 1;
-              trace_event t
-                (Trace.Dropped { src; dst; payload; reason = Trace.No_port })
+              if tracing t then
+                trace_event t
+                  (Trace.Dropped { src; dst; payload; reason = Trace.No_port })
           | Some port ->
               bump t.delivered dst;
-              trace_event t (Trace.Delivered { src; dst; payload });
+              if tracing t then
+                trace_event t (Trace.Delivered { src; dst; payload });
               port.handler ~src payload)
     end
   else begin
     t.dropped <- t.dropped + 1;
-    trace_event t
-      (Trace.Dropped { src; dst; payload; reason = Trace.Partitioned })
+    if tracing t then
+      trace_event t
+        (Trace.Dropped { src; dst; payload; reason = Trace.Partitioned })
   end
 
 let send t ~src ~dst payload =
   bump t.sent src;
-  trace_event t (Trace.Sent { src; dst = Some dst; payload });
+  if tracing t then trace_event t (Trace.Sent { src; dst = Some dst; payload });
   deliver t ~src ~dst payload
 
 let broadcast t ~src payload =
   bump t.sent src;
-  trace_event t (Trace.Sent { src; dst = None; payload });
-  let dsts = List.filter (fun n -> not (Node_id.equal n src)) (nodes t) in
-  List.iter (fun dst -> deliver t ~src ~dst payload) dsts
+  if tracing t then trace_event t (Trace.Sent { src; dst = None; payload });
+  List.iter
+    (fun dst ->
+      if not (Node_id.equal dst src) then deliver t ~src ~dst payload)
+    t.members
 
 let set_loss t loss =
   if loss < 0. || loss >= 1. then invalid_arg "Network.set_loss: out of [0, 1)";

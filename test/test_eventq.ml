@@ -1,0 +1,142 @@
+(* Model-based property test of the unboxed Dsim.Event_queue: random
+   push/pop/pop_nth/clear sequences checked against a naive sorted-list
+   reference, including the (time, insertion-seq) tie-break and the
+   FIFO-rank semantics of pop_nth that the mc controller relies on. *)
+
+module Time = Dsim.Time
+module Eq = Dsim.Event_queue
+
+type op = Push of int | Pop | Pop_nth of int | Clear
+
+let pp_op = function
+  | Push t -> Printf.sprintf "push@%d" t
+  | Pop -> "pop"
+  | Pop_nth n -> Printf.sprintf "pop_nth %d" n
+  | Clear -> "clear"
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map (fun t -> Push t) (int_range 0 15));
+        (3, return Pop);
+        (2, map (fun n -> Pop_nth n) (int_range 0 5));
+        (1, return Clear);
+      ])
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    QCheck.Gen.(list_size (int_range 0 300) op_gen)
+
+(* Reference model: a list of (time, seq, id), kept unordered; every
+   query sorts.  [pop_nth n] removes the n-th (clamped, by insertion
+   order) among the entries sharing the minimum time. *)
+let model_min model =
+  List.fold_left
+    (fun acc (at, seq, id) ->
+      match acc with
+      | None -> Some (at, seq, id)
+      | Some (at', seq', _) when at < at' || (at = at' && seq < seq') ->
+          Some (at, seq, id)
+      | some -> some)
+    None model
+
+let model_pop_nth model n =
+  match model_min model with
+  | None -> (None, model)
+  | Some (min_at, _, _) ->
+      let ready =
+        List.filter (fun (at, _, _) -> at = min_at) model
+        |> List.sort (fun (_, s1, _) (_, s2, _) -> compare s1 s2)
+      in
+      let k = if n <= 0 then 0 else min n (List.length ready - 1) in
+      let _, seq, id = List.nth ready k in
+      (Some (min_at, id), List.filter (fun (_, s, _) -> s <> seq) model)
+
+let model_ready_count model =
+  match model_min model with
+  | None -> 0
+  | Some (min_at, _, _) ->
+      List.length (List.filter (fun (at, _, _) -> at = min_at) model)
+
+let prop_matches_model =
+  QCheck.Test.make ~count:200 ~name:"event_queue matches sorted-list model"
+    ops_arb
+    (fun ops ->
+      let q = Eq.create () in
+      let model = ref [] in
+      let next_id = ref 0 in
+      let seq = ref 0 in
+      let same_opt what got expect =
+        if got <> expect then
+          QCheck.Test.fail_reportf "%s: queue %s, model %s" what
+            (match got with
+            | None -> "None"
+            | Some (at, id) -> Printf.sprintf "(%d, %d)" (Time.to_ns at) id)
+            (match expect with
+            | None -> "None"
+            | Some (at, id) -> Printf.sprintf "(%d, %d)" (Time.to_ns at) id)
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | Push t ->
+              let id = !next_id in
+              incr next_id;
+              Eq.push q (Time.of_ns t) id;
+              model := (t, !seq, id) :: !model;
+              incr seq
+          | Pop ->
+              let got = Eq.pop q in
+              let expect, model' = model_pop_nth !model 0 in
+              model := model';
+              same_opt "pop" got
+                (Option.map (fun (at, id) -> (Time.of_ns at, id)) expect)
+          | Pop_nth n ->
+              let got = Eq.pop_nth q n in
+              let expect, model' = model_pop_nth !model n in
+              model := model';
+              same_opt
+                (Printf.sprintf "pop_nth %d" n)
+                got
+                (Option.map (fun (at, id) -> (Time.of_ns at, id)) expect)
+          | Clear ->
+              Eq.clear q;
+              model := []);
+          if Eq.length q <> List.length !model then
+            QCheck.Test.fail_reportf "length: queue %d, model %d"
+              (Eq.length q) (List.length !model);
+          if Eq.ready_count q <> model_ready_count !model then
+            QCheck.Test.fail_reportf "ready_count: queue %d, model %d"
+              (Eq.ready_count q)
+              (model_ready_count !model);
+          match Eq.peek_time q with
+          | Some at
+            when Some (Time.to_ns at)
+                 <> Option.map (fun (a, _, _) -> a) (model_min !model) ->
+              QCheck.Test.fail_reportf "peek_time mismatch"
+          | None when !model <> [] ->
+              QCheck.Test.fail_reportf "peek_time None on non-empty"
+          | _ -> ())
+        ops;
+      (* drain what remains and verify global (time, insertion) order *)
+      let rec drain () =
+        match Eq.pop q with
+        | None ->
+            if !model <> [] then QCheck.Test.fail_reportf "drain: model not empty"
+        | Some (at, id) ->
+            let expect, model' = model_pop_nth !model 0 in
+            model := model';
+            same_opt "drain" (Some (at, id))
+              (Option.map (fun (a, i) -> (Time.of_ns a, i)) expect);
+            drain ()
+      in
+      drain ();
+      true)
+
+let suites =
+  [
+    ( "dsim.event_queue_model",
+      [ QCheck_alcotest.to_alcotest prop_matches_model ] );
+  ]

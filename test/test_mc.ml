@@ -332,6 +332,58 @@ let test_seeded_bug_random_walk_finds_it () =
     (r.Mc.Explore.violations <> [])
 
 (* ------------------------------------------------------------------ *)
+(* Pool: parallel exploration must be indistinguishable from serial *)
+
+(* Everything observable about a report except timing. *)
+let report_key (r : Mc.Explore.report) =
+  ( r.Mc.Explore.schedules,
+    r.Mc.Explore.distinct,
+    r.Mc.Explore.steps_total,
+    List.map
+      (fun (v : Mc.Explore.violation) ->
+        (v.Mc.Explore.invariant, v.Mc.Explore.seed, v.Mc.Explore.counterexample))
+      r.Mc.Explore.violations )
+
+let test_pool_matches_serial_clean () =
+  let c = cfg 6 in
+  let serial = Mc.Explore.explore ~budget:60 c in
+  let pooled = Mc.Pool.explore ~budget:60 ~jobs:1 c in
+  check bool "pool jobs=1 = serial explore" true
+    (report_key serial = report_key pooled);
+  check int "distinct schedules" serial.Mc.Explore.distinct
+    pooled.Mc.Explore.distinct
+
+let test_pool_jobs_equivalence_random_clean () =
+  let c = cfg 6 in
+  let strategy = Mc.Strategy.Random { delay_prob = 0.02; reorder_prob = 0.3 } in
+  let j1 = Mc.Pool.explore ~strategy ~budget:60 ~jobs:1 c in
+  let j4 = Mc.Pool.explore ~strategy ~budget:60 ~jobs:4 c in
+  check bool "jobs=1 = jobs=4 (random, clean)" true
+    (report_key j1 = report_key j4);
+  check int "all schedules ran" 60 j4.Mc.Explore.schedules
+
+let test_pool_jobs_equivalence_bounded_buggy () =
+  (* the seeded bug: same violation (invariant, seed, shrunk
+     counterexample), same schedule counts, whatever the domain count *)
+  let strategy = Mc.Strategy.Bounded { depth = 1 } in
+  let j1 = Mc.Pool.explore ~strategy ~budget:300 ~jobs:1 buggy in
+  let j4 = Mc.Pool.explore ~strategy ~budget:300 ~jobs:4 buggy in
+  check bool "violation found" true (j1.Mc.Explore.violations <> []);
+  check bool "jobs=1 = jobs=4 (bounded, buggy)" true
+    (report_key j1 = report_key j4);
+  let serial = Mc.Explore.explore ~strategy ~budget:300 buggy in
+  check bool "pool = serial on the violation" true
+    (report_key serial = report_key j1)
+
+let test_pool_jobs_equivalence_random_buggy () =
+  let strategy = Mc.Strategy.Random { delay_prob = 0.08; reorder_prob = 0.3 } in
+  let j1 = Mc.Pool.explore ~strategy ~budget:400 ~jobs:1 buggy in
+  let j3 = Mc.Pool.explore ~strategy ~budget:400 ~jobs:3 buggy in
+  check bool "violation found" true (j1.Mc.Explore.violations <> []);
+  check bool "jobs=1 = jobs=3 (random, buggy)" true
+    (report_key j1 = report_key j3)
+
+(* ------------------------------------------------------------------ *)
 
 let suites =
   [
@@ -370,6 +422,17 @@ let suites =
           test_explore_crash_clean;
         Alcotest.test_case "bounded search clean" `Quick
           test_explore_bounded_clean;
+      ] );
+    ( "mc.pool",
+      [
+        Alcotest.test_case "jobs=1 matches serial" `Quick
+          test_pool_matches_serial_clean;
+        Alcotest.test_case "jobs equivalence (random, clean)" `Quick
+          test_pool_jobs_equivalence_random_clean;
+        Alcotest.test_case "jobs equivalence (bounded, buggy)" `Quick
+          test_pool_jobs_equivalence_bounded_buggy;
+        Alcotest.test_case "jobs equivalence (random, buggy)" `Quick
+          test_pool_jobs_equivalence_random_buggy;
       ] );
     ( "mc.seeded_bug",
       [
