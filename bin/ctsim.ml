@@ -229,6 +229,19 @@ let explore_cmd =
       Format.eprintf "ctsim: --jobs must be >= 1@.";
       exit 2
     end;
+    (* Oversubscribing domains never helps: workers are CPU-bound, and
+       extra domains only add GC synchronization.  Results are identical
+       at any job count, so capping is safe. *)
+    let cores = Domain.recommended_domain_count () in
+    let jobs =
+      if jobs > cores then begin
+        Format.eprintf
+          "ctsim: --jobs %d exceeds the %d available core(s); using %d@."
+          jobs cores cores;
+        cores
+      end
+      else jobs
+    in
     let cfg =
       {
         Mc.Harness.default with

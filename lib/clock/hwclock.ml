@@ -61,6 +61,7 @@ let read t =
   v
 
 let config t = t.cfg
+let rng t = t.rng
 let fail t = t.failed <- true
 let failed t = t.failed
 

@@ -33,6 +33,11 @@ val read : t -> Dsim.Time.t
 
 val config : t -> config
 
+val rng : t -> Dsim.Rng.t
+(** The clock's private jitter stream (split from the engine's at
+    {!create} time).  Exposed so a snapshot/restore facility can rewind
+    it; ordinary clients never need it. *)
+
 val fail : t -> unit
 (** Fail-stop the clock. *)
 

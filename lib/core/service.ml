@@ -39,6 +39,10 @@ type t = {
   cfg : config;
   mutable offset : Span.t; (* my_clock_offset *)
   handlers : (int, Ccs_handler.t) Hashtbl.t; (* keyed by thread id *)
+  mutable handler_memo : (int * Ccs_handler.t) option;
+      (* one-entry cache over [handlers]: replicas read the clock from one
+         thread, and the table lookup is on the per-round and per-message
+         paths.  Handlers are never removed, so the memo cannot go stale. *)
   common_buffer : (int, Ccs_msg.payload Queue.t) Hashtbl.t;
       (* my_common_input_buffer: CCS messages for threads not yet created *)
   mutable view : Gcs.View.t option;
@@ -54,8 +58,12 @@ type t = {
   mutable s_rollbacks : int;
   mutable s_max_rollback : Span.t;
   mutable s_last_value : Time.t option;
-  last_per_thread : (int, Time.t) Hashtbl.t;
+  mutable last_per_thread : int array;
+      (* last raw group-clock reading per thread id, in ns;
+         [no_reading] = none yet.  Thread ids are small dense ints. *)
 }
+
+let no_reading = min_int
 
 let create eng ~endpoint ~group ~clock ?(config = default_config) () =
   let t =
@@ -67,6 +75,7 @@ let create eng ~endpoint ~group ~clock ?(config = default_config) () =
       cfg = config;
       offset = Span.zero;
       handlers = Hashtbl.create 8;
+      handler_memo = None;
       common_buffer = Hashtbl.create 8;
       view = None;
       init = not config.recovering;
@@ -80,7 +89,7 @@ let create eng ~endpoint ~group ~clock ?(config = default_config) () =
       s_rollbacks = 0;
       s_max_rollback = Span.zero;
       s_last_value = None;
-      last_per_thread = Hashtbl.create 8;
+      last_per_thread = [||];
     }
   in
   if not config.recovering then Dsim.Sync.Ivar.fill eng t.init_done ();
@@ -133,6 +142,16 @@ let i_am_primary t =
 let may_send t =
   match t.cfg.mode with Active -> true | Primary_backup -> i_am_primary t
 
+let find_handler t key =
+  match t.handler_memo with
+  | Some (k, h) when k = key -> Some h
+  | _ -> (
+      match Hashtbl.find_opt t.handlers key with
+      | Some h as r ->
+          t.handler_memo <- Some (key, h);
+          r
+      | None -> None)
+
 let send_ccs t payload =
   if may_send t then begin
     t.s_sent <- t.s_sent + 1;
@@ -141,7 +160,7 @@ let send_ccs t payload =
        message is discarded instead of multicast. *)
     let unless () =
       let stale =
-        match Hashtbl.find_opt t.handlers (Thread_id.to_int payload.Ccs_msg.thread) with
+        match find_handler t (Thread_id.to_int payload.Ccs_msg.thread) with
         | Some h -> Ccs_handler.round_settled h payload.Ccs_msg.round
         | None -> false
       in
@@ -158,7 +177,7 @@ let send_ccs t payload =
 
 let handler_for t thread =
   let key = Thread_id.to_int thread in
-  match Hashtbl.find_opt t.handlers key with
+  match find_handler t key with
   | Some h -> h
   | None ->
       let h =
@@ -211,7 +230,7 @@ let on_message t (msg : Gcs.Msg.t) =
         adopt_recovery_sync t p
       else
         let key = Thread_id.to_int p.thread in
-        match Hashtbl.find_opt t.handlers key with
+        match find_handler t key with
         | Some h -> Ccs_handler.recv h p
         | None ->
             let q =
@@ -250,14 +269,20 @@ let record_reading t ~thread value =
   t.s_rounds <- t.s_rounds + 1;
   t.s_last_value <- Some value;
   let key = Thread_id.to_int thread in
-  (match Hashtbl.find_opt t.last_per_thread key with
-  | Some prev when Time.(value < prev) ->
-      let magnitude = Time.diff prev value in
-      t.s_rollbacks <- t.s_rollbacks + 1;
-      if Span.(magnitude > t.s_max_rollback) then
-        t.s_max_rollback <- magnitude
-  | Some _ | None -> ());
-  Hashtbl.replace t.last_per_thread key value
+  if key >= Array.length t.last_per_thread then begin
+    let n = Array.length t.last_per_thread in
+    let a = Array.make (max (key + 1) (2 * n + 4)) no_reading in
+    Array.blit t.last_per_thread 0 a 0 n;
+    t.last_per_thread <- a
+  end;
+  let prev = t.last_per_thread.(key) in
+  let value_ns = Time.to_ns value in
+  (if prev <> no_reading && value_ns < prev then begin
+     let magnitude = Span.of_ns (prev - value_ns) in
+     t.s_rollbacks <- t.s_rollbacks + 1;
+     if Span.(magnitude > t.s_max_rollback) then t.s_max_rollback <- magnitude
+   end);
+  t.last_per_thread.(key) <- value_ns
 
 let clock_read t ~thread ~call =
   if not t.init then

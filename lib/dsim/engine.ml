@@ -1,20 +1,50 @@
 type choice = Take of int | Postpone of Time.Span.t
 
+(* Pooled timer cell.  [schedule t d (fun () -> ...)] allocates a closure
+   per event; the pooled variant [schedule_call t d fn arg] instead parks
+   [(fn, arg)] in a recycled cell whose [c_fire] closure was allocated once
+   when the cell was first created.  Cells link into a per-engine intrusive
+   free list; [c_next == cell] marks a cell not on the list (and the
+   engine's [nil_cell] sentinel marks the empty list — per-engine rather
+   than global so that marshalling an engine keeps the identity test
+   valid).  [Obj.t] erases the argument type: sound because the only reader
+   is the matching [c_fn], stored by the same [schedule_call]. *)
+type cell = {
+  mutable c_fn : Obj.t -> unit;
+  mutable c_arg : Obj.t;
+  mutable c_next : cell;
+  c_fire : unit -> unit;
+}
+
 type t = {
   queue : (unit -> unit) Event_queue.t;
   mutable now : Time.t;
   rng : Rng.t;
   mutable stopped : bool;
   mutable scheduler : (ready:int -> choice) option;
+  nil_cell : cell;
+  mutable free_cells : cell;
 }
 
+let obj_ignore (_ : Obj.t) = ()
+let obj_zero = Obj.repr 0
+
+let make_nil_cell () =
+  let rec c =
+    { c_fn = obj_ignore; c_arg = obj_zero; c_next = c; c_fire = ignore }
+  in
+  c
+
 let create ?(seed = 1L) () =
+  let nil_cell = make_nil_cell () in
   {
     queue = Event_queue.create ();
     now = Time.epoch;
     rng = Rng.create seed;
     stopped = false;
     scheduler = None;
+    nil_cell;
+    free_cells = nil_cell;
   }
 
 let now t = t.now
@@ -31,6 +61,50 @@ let schedule_at t at f =
 let schedule t d f =
   let d = if Time.Span.is_negative d then Time.Span.zero else d in
   Event_queue.push t.queue (Time.add t.now d) f
+
+(* Pop a cell off the free list, or mint one.  Minting allocates the cell
+   and its [c_fire] closure exactly once; every later trip through the
+   pool is allocation-free. *)
+let acquire t =
+  let c = t.free_cells in
+  if c != t.nil_cell then begin
+    t.free_cells <- c.c_next;
+    c.c_next <- c;
+    c
+  end
+  else begin
+    let rec cell =
+      { c_fn = obj_ignore; c_arg = obj_zero; c_next = cell; c_fire = fire }
+    and fire () =
+      let fn = cell.c_fn and arg = cell.c_arg in
+      (* Scrub and release before calling: the payload must not outlive
+         the event (it may hold a large graph), and releasing first lets
+         [fn] itself schedule into this very cell. *)
+      cell.c_fn <- obj_ignore;
+      cell.c_arg <- obj_zero;
+      cell.c_next <- t.free_cells;
+      t.free_cells <- cell;
+      fn arg
+    in
+    cell
+  end
+
+let fill_cell (type a) t (fn : a -> unit) (arg : a) =
+  let c = acquire t in
+  c.c_fn <- (Obj.magic fn : Obj.t -> unit);
+  c.c_arg <- Obj.repr arg;
+  c.c_fire
+
+let schedule_call t d fn arg =
+  let d = if Time.Span.is_negative d then Time.Span.zero else d in
+  Event_queue.push t.queue (Time.add t.now d) (fill_cell t fn arg)
+
+let schedule_call_at t at fn arg =
+  if Time.(at < t.now) then
+    invalid_arg
+      (Format.asprintf "Engine.schedule_call_at: %a is before now (%a)" Time.pp
+         at Time.pp t.now);
+  Event_queue.push t.queue at (fill_cell t fn arg)
 
 let run_event t = function
   | None -> false
@@ -56,6 +130,14 @@ let step t =
       | 0 -> false
       | ready -> (
           match hook ~ready with
+          | Take 0 ->
+              (* [Take 0] is the default schedule: identical to the plain
+                 pop, so it gets the same allocation-free fast path. *)
+              let at = Event_queue.min_time_exn t.queue in
+              let f = Event_queue.pop_min_exn t.queue in
+              t.now <- at;
+              f ();
+              true
           | Take i -> run_event t (Event_queue.pop_nth t.queue i)
           | Postpone d -> (
               match Event_queue.pop t.queue with
@@ -70,24 +152,70 @@ let step t =
                   Event_queue.push t.queue (Time.add at d) f;
                   true)))
 
+(* Hook-free inner loop: one emptiness test and one [min_time_exn] per
+   event, shared between the horizon check and the pop (the previous
+   version's separate [horizon_ok] re-scanned the queue head each
+   iteration on top of [step]'s own inspection).  The horizon test is
+   hoisted out of the loop: the unbounded case — every [Engine.run] and
+   the whole explorer hot path — pays no per-event option match. *)
+let run_plain t ~horizon budget =
+  match horizon with
+  | None ->
+      let n = ref !budget in
+      while
+        (not t.stopped) && !n > 0 && not (Event_queue.is_empty t.queue)
+      do
+        t.now <- Event_queue.min_time_exn t.queue;
+        (Event_queue.pop_min_exn t.queue) ();
+        decr n
+      done;
+      budget := !n
+  | Some h ->
+      let continue = ref true in
+      while !continue do
+        if t.stopped || !budget <= 0 || Event_queue.is_empty t.queue then
+          continue := false
+        else begin
+          let at = Event_queue.min_time_exn t.queue in
+          if Time.(at > h) then continue := false
+          else begin
+            let f = Event_queue.pop_min_exn t.queue in
+            t.now <- at;
+            f ();
+            decr budget
+          end
+        end
+      done
+
+(* Hook path (model checking): the hook decides what runs, so we only peek
+   at the head for the horizon test and delegate to [step]. *)
+let run_hooked t ~horizon budget =
+  let continue = ref true in
+  while !continue do
+    if t.stopped || !budget <= 0 || Event_queue.is_empty t.queue then
+      continue := false
+    else
+      match horizon with
+      | Some h when Time.(Event_queue.min_time_exn t.queue > h) ->
+          continue := false
+      | _ ->
+          ignore (step t : bool);
+          decr budget
+  done
+
 let run ?until ?max_events t =
   t.stopped <- false;
   let budget = ref (match max_events with Some n -> n | None -> max_int) in
-  let horizon_ok () =
-    match until with
-    | None -> true
-    | Some h ->
-        (not (Event_queue.is_empty t.queue))
-        && Time.(Event_queue.min_time_exn t.queue <= h)
-  in
-  while
-    (not t.stopped) && !budget > 0 && (not (Event_queue.is_empty t.queue))
-    && horizon_ok ()
-  do
-    ignore (step t : bool);
-    decr budget
-  done;
+  (match t.scheduler with
+  | None -> run_plain t ~horizon:until budget
+  | Some _ -> run_hooked t ~horizon:until budget);
   match until with Some h when Time.(h > t.now) -> t.now <- h | _ -> ()
+
+let with_gc_tuning ?(minor_heap_words = 1024 * 1024)
+    ?(space_overhead = 800) f =
+  let saved = Gc.get () in
+  Gc.set { saved with Gc.minor_heap_size = minor_heap_words; space_overhead };
+  Fun.protect ~finally:(fun () -> Gc.set saved) f
 
 let pending t = Event_queue.length t.queue
 let stop t = t.stopped <- true

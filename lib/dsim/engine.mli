@@ -31,6 +31,18 @@ val schedule_at : t -> Time.t -> (unit -> unit) -> unit
 val schedule : t -> Time.span -> (unit -> unit) -> unit
 (** [schedule t d f] runs [f] after delay [d] (clipped to be >= 0). *)
 
+val schedule_call : t -> Time.span -> ('a -> unit) -> 'a -> unit
+(** [schedule_call t d fn arg] runs [fn arg] after delay [d] (clipped to
+    be >= 0).  Unlike {!schedule} with a closure built at the call site,
+    the [(fn, arg)] pair is parked in a pooled cell recycled across
+    events, so steady-state scheduling allocates nothing on the minor
+    heap.  Pass a top-level (or otherwise preallocated) [fn] to get the
+    full benefit; a fresh closure for [fn] reintroduces the allocation. *)
+
+val schedule_call_at : t -> Time.t -> ('a -> unit) -> 'a -> unit
+(** Absolute-time variant of {!schedule_call}.  Raises [Invalid_argument]
+    if the instant is in the past. *)
+
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** Process events in timestamp order until the queue drains, the optional
     [until] horizon is passed, or [max_events] callbacks have run.
@@ -49,6 +61,17 @@ val set_scheduler : t -> (ready:int -> choice) option -> unit
     strictly in [(time, insertion)] order — the default deterministic
     schedule.  Used by [Mc] to enumerate interleavings; a hook that always
     answers [Take 0] reproduces the default schedule exactly. *)
+
+val with_gc_tuning : ?minor_heap_words:int -> ?space_overhead:int ->
+  (unit -> 'a) -> 'a
+(** [with_gc_tuning f] runs [f] under GC parameters sized for the
+    simulator hot loop — a 1M-word minor heap (short-lived event garbage
+    dies young instead of being promoted; larger heaps measured slower
+    here, they outgrow the cache) and a relaxed [space_overhead]
+    (default 800: simulation live heaps are tiny, so trading idle memory
+    for ~3x fewer major collections is nearly free) — and restores the
+    previous parameters afterwards, also on exception.  Used by the
+    benchmarks and by [ctsim] around exploration. *)
 
 val pending : t -> int
 (** Number of queued events. *)

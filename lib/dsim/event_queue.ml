@@ -1,8 +1,24 @@
-(* Unboxed binary min-heap: three parallel arrays instead of an
+(* Unboxed 4-ary min-heap: three parallel arrays instead of an
    ['a entry option array].  [at] and [seq] hold immediates, so a push
    allocates nothing (the old layout boxed an [entry] inside an [option]
    per element — one allocation and two indirections on every comparison)
    and sifting compares against flat array slots.
+
+   Arity 4 rather than 2: the engine's workload is pop-heavy (every pop
+   sifts the displaced last element down from the root), and a 4-ary
+   heap halves the sift depth — half the 3-field copies and half the
+   dependent cache misses — at the cost of up to three extra compares
+   per level, which hit the same cache lines the copy touches anyway.
+   The pop order is the strict [(at, seq)] minimum either way, so heap
+   arity is unobservable through the interface.
+
+   The arrays double as the event-cell pool: slots are never freed, only
+   vacated and overwritten by later pushes, so a queue in steady state
+   (push rate = pop rate) allocates nothing on the minor heap.  Sifting is
+   hole-based — the moving element rides in registers and each visited
+   level does one 3-field copy instead of a 6-field swap — and all slot
+   accesses inside the sift loops use unsafe reads/writes (indices are
+   bounded by [size], which the loops maintain).
 
    Slots at index >= size are junk: [ev] slots are scrubbed with [nil]
    when vacated so popped payloads do not survive their pop. *)
@@ -19,41 +35,80 @@ type 'a t = {
    pointer array is always sound. *)
 let nil : unit -> 'a = fun () -> Obj.magic 0
 
-let create () =
-  { at = [||]; seq = [||]; ev = [||]; size = 0; next_seq = 0 }
+let create ?(capacity = 0) () =
+  if capacity = 0 then
+    { at = [||]; seq = [||]; ev = [||]; size = 0; next_seq = 0 }
+  else
+    {
+      at = Array.make capacity Time.epoch;
+      seq = Array.make capacity 0;
+      ev = Array.make capacity (nil ());
+      size = 0;
+      next_seq = 0;
+    }
 
-(* [i] earlier than [j]: primary key time, tie-break insertion order. *)
-let lt h i j =
-  match Time.compare h.at.(i) h.at.(j) with
-  | 0 -> h.seq.(i) < h.seq.(j)
+(* (at, seq) earlier than slot [j]: primary key time, tie-break
+   insertion order. *)
+let lt_slot h at seq j =
+  match Time.compare at (Array.unsafe_get h.at j) with
+  | 0 -> seq < Array.unsafe_get h.seq j
   | c -> c < 0
 
-let swap h i j =
-  let a = h.at.(i) and s = h.seq.(i) and e = h.ev.(i) in
-  h.at.(i) <- h.at.(j);
-  h.seq.(i) <- h.seq.(j);
-  h.ev.(i) <- h.ev.(j);
-  h.at.(j) <- a;
-  h.seq.(j) <- s;
-  h.ev.(j) <- e
+let set_slot h i at seq ev =
+  Array.unsafe_set h.at i at;
+  Array.unsafe_set h.seq i seq;
+  Array.unsafe_set h.ev i ev
 
-let rec sift_up h i =
+let copy_slot h ~src ~dst =
+  Array.unsafe_set h.at dst (Array.unsafe_get h.at src);
+  Array.unsafe_set h.seq dst (Array.unsafe_get h.seq src);
+  Array.unsafe_set h.ev dst (Array.unsafe_get h.ev src)
+
+(* Float the hole at [i] towards the root until [(at, seq)] fits, then
+   drop the element in. *)
+let rec sift_up h i at seq ev =
   if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if lt h i parent then begin
-      swap h i parent;
-      sift_up h parent
+    let parent = (i - 1) / 4 in
+    if lt_slot h at seq parent then begin
+      copy_slot h ~src:parent ~dst:i;
+      sift_up h parent at seq ev
     end
+    else set_slot h i at seq ev
   end
+  else set_slot h i at seq ev
 
-let rec sift_down h i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < h.size && lt h l !smallest then smallest := l;
-  if r < h.size && lt h r !smallest then smallest := r;
-  if !smallest <> i then begin
-    swap h i !smallest;
-    sift_down h !smallest
+(* [i] earlier than [j], both known < size.  Same order as [lt] with
+   unsafe reads for the sift loop. *)
+let lt_u h i j =
+  match
+    Time.compare (Array.unsafe_get h.at i) (Array.unsafe_get h.at j)
+  with
+  | 0 -> Array.unsafe_get h.seq i < Array.unsafe_get h.seq j
+  | c -> c < 0
+
+(* Smallest of the up-to-four children starting at [c0]; caller
+   guarantees [c0 < size].  Unrolled so no [ref] cell is allocated. *)
+let min_child h c0 =
+  let sz = h.size in
+  let s = c0 in
+  let j = c0 + 1 in
+  let s = if j < sz && lt_u h j s then j else s in
+  let j = c0 + 2 in
+  let s = if j < sz && lt_u h j s then j else s in
+  let j = c0 + 3 in
+  if j < sz && lt_u h j s then j else s
+
+(* Sink the hole at [i] towards the leaves until [(at, seq)] fits. *)
+let rec sift_down h i at seq ev =
+  let c0 = (4 * i) + 1 in
+  if c0 >= h.size then set_slot h i at seq ev
+  else begin
+    let smallest = min_child h c0 in
+    if lt_slot h at seq smallest then set_slot h i at seq ev
+    else begin
+      copy_slot h ~src:smallest ~dst:i;
+      sift_down h smallest at seq ev
+    end
   end
 
 let grow h fill =
@@ -72,12 +127,10 @@ let grow h fill =
 let push h at ev =
   if h.size = Array.length h.at then grow h ev;
   let i = h.size in
-  h.at.(i) <- at;
-  h.seq.(i) <- h.next_seq;
-  h.ev.(i) <- ev;
-  h.next_seq <- h.next_seq + 1;
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
   h.size <- i + 1;
-  sift_up h i
+  sift_up h i at seq ev
 
 let min_time_exn h =
   if h.size = 0 then invalid_arg "Event_queue.min_time_exn: empty";
@@ -87,16 +140,17 @@ let min_time_exn h =
    engine's per-event fast path. *)
 let pop_min_exn h =
   if h.size = 0 then invalid_arg "Event_queue.pop_min_exn: empty";
-  let ev = h.ev.(0) in
+  let ev = Array.unsafe_get h.ev 0 in
   let last = h.size - 1 in
   h.size <- last;
   if last > 0 then begin
-    h.at.(0) <- h.at.(last);
-    h.seq.(0) <- h.seq.(last);
-    h.ev.(0) <- h.ev.(last)
-  end;
-  h.ev.(last) <- nil ();
-  if last > 1 then sift_down h 0;
+    let lat = Array.unsafe_get h.at last in
+    let lseq = Array.unsafe_get h.seq last in
+    let lev = Array.unsafe_get h.ev last in
+    Array.unsafe_set h.ev last (nil ());
+    sift_down h 0 lat lseq lev
+  end
+  else Array.unsafe_set h.ev 0 (nil ());
   ev
 
 let pop h =
@@ -115,7 +169,11 @@ let is_empty h = h.size = 0
    prune every subtree whose root is later: O(ready), not O(size). *)
 let rec count_eq h at i acc =
   if i >= h.size || Time.compare h.at.(i) at <> 0 then acc
-  else count_eq h at ((2 * i) + 2) (count_eq h at ((2 * i) + 1) (acc + 1))
+  else
+    let c = 4 * i in
+    count_eq h at (c + 4)
+      (count_eq h at (c + 3)
+         (count_eq h at (c + 2) (count_eq h at (c + 1) (acc + 1))))
 
 let ready_count h =
   if h.size = 0 then 0 else count_eq h h.at.(0) 0 0
@@ -127,22 +185,28 @@ let remove_index h i =
   let last = h.size - 1 in
   h.size <- last;
   if i < last then begin
-    h.at.(i) <- h.at.(last);
-    h.seq.(i) <- h.seq.(last);
-    h.ev.(i) <- h.ev.(last);
-    sift_down h i;
-    sift_up h i
-  end;
-  h.ev.(last) <- nil ();
+    let lat = h.at.(last) and lseq = h.seq.(last) and lev = h.ev.(last) in
+    h.ev.(last) <- nil ();
+    (* The displaced element may belong above or below the hole; try the
+       downward direction first, and if it never moved, float it up. *)
+    sift_down h i lat lseq lev;
+    if h.at.(i) == lat && h.seq.(i) == lseq then begin
+      (* still in the hole: may need to travel up *)
+      sift_up h i lat lseq lev
+    end
+  end
+  else h.ev.(last) <- nil ();
   ev
 
 (* Indices of the ready set, pruned like [count_eq]; order unspecified. *)
 let rec ready_indices h at i acc =
   if i >= h.size || Time.compare h.at.(i) at <> 0 then acc
   else
-    ready_indices h at
-      ((2 * i) + 2)
-      (ready_indices h at ((2 * i) + 1) (i :: acc))
+    let c = 4 * i in
+    ready_indices h at (c + 4)
+      (ready_indices h at (c + 3)
+         (ready_indices h at (c + 2)
+            (ready_indices h at (c + 1) (i :: acc))))
 
 let pop_nth h n =
   if h.size = 0 then None

@@ -1,12 +1,15 @@
 (** Priority queue of timestamped events.
 
-    A binary min-heap ordered by [(time, insertion sequence)]: events at the
+    A 4-ary min-heap ordered by [(time, insertion sequence)]: events at the
     same instant pop in insertion order, which makes the simulation fully
     deterministic. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?capacity:int -> unit -> 'a t
+(** [create ?capacity ()] makes an empty queue.  [capacity] preallocates
+    the backing arrays so the first [capacity] pushes never resize; the
+    queue still grows past it on demand. *)
 
 val push : 'a t -> Time.t -> 'a -> unit
 (** [push q at ev] enqueues [ev] to fire at instant [at]. *)

@@ -8,21 +8,33 @@ type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
    domain runs its own engine (Mc.Pool gives every worker domain a private
    simulator), and fiber identity must not bleed between them. *)
 let next_id_key = Domain.DLS.new_key (fun () -> ref 0)
-let current_key : int option ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref None)
 
-let current_id () = !(Domain.DLS.get current_key)
+(* Stored as a plain int (0 = not in a fiber; real ids start at 1) so
+   entering/leaving a fiber on every resume allocates nothing. *)
+let current_key : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
+let current_id () =
+  match !(Domain.DLS.get current_key) with 0 -> None | id -> Some id
 
 let fresh_id () =
   let r = Domain.DLS.get next_id_key in
   incr r;
   !r
 
+(* Hand-rolled [Fun.protect]: this wraps every fiber body and resumption,
+   so the [finally] closure is worth avoiding. *)
 let with_id id f =
   let current = Domain.DLS.get current_key in
   let prev = !current in
-  current := Some id;
-  Fun.protect ~finally:(fun () -> current := prev) f
+  current := id;
+  match f () with
+  | v ->
+      current := prev;
+      v
+  | exception e ->
+      current := prev;
+      raise e
 
 let spawn eng f =
   let open Effect.Deep in

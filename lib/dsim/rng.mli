@@ -16,6 +16,16 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the current state (same future draws). *)
 
+val state : t -> int64
+(** Internal splitmix64 state.  Together with {!set_state} this lets a
+    snapshot/restore facility (e.g. [Mc.Harness] reuse) save a stream and
+    later rewind it exactly; the state is the complete description of all
+    future draws. *)
+
+val set_state : t -> int64 -> unit
+(** [set_state t s] rewinds [t] to a previously observed {!state} (or to a
+    fresh seed): the next draws equal those of [create s]. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit draw. *)
 

@@ -81,13 +81,17 @@ let explore ?(strategy = Strategy.default_random) ?(budget = 500)
   let steps_total = ref 0 in
   let t0 = wall () in
   let c0 = cpu () in
+  (* One world snapshot amortized over the whole budget; run_reused is
+     result-identical to Harness.run.  Shrinking (build_violation) stays
+     on fresh construction — it is the cold path. *)
+  let reusable = Harness.reusable { cfg with Harness.record_packets = false } in
   (try
      while !runs < budget do
        match gen.Strategy.next () with
        | None -> raise Exit
        | Some (seed, spec) ->
            let cfg = { cfg with Harness.seed; record_packets = false } in
-           let outcome, info = Harness.run ~spec cfg in
+           let outcome, info = Harness.run_reused reusable ~spec cfg in
            incr runs;
            steps_total := !steps_total + info.Harness.steps;
            Hashtbl.replace seen info.Harness.fingerprint ();

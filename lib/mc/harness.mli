@@ -47,3 +47,37 @@ type info = {
 }
 
 val run : ?spec:Controller.spec -> config -> Invariant.outcome * info
+
+(** {2 Harness reuse}
+
+    World construction (ring formation + group membership) dominates the
+    cost of a run.  A {!reusable} snapshots the pristine post-startup
+    world once and restores it per run instead of rebuilding it, which is
+    sound because startup never draws from any random stream — it only
+    splits them in a fixed order, so the post-startup state is
+    seed-independent and the streams can be rewound to any seed
+    afterwards.  That invariant is verified when the snapshot is taken;
+    if it (or the snapshot itself) fails, the reusable silently falls
+    back to fresh construction, so {!run_reused} always returns exactly
+    what {!run} would. *)
+
+type reusable
+
+val reusable : config -> reusable
+(** Build a reusable worker harness for configurations sharing this
+    configuration's startup projection ([replicas], [latency_us],
+    [skew_clocks]). *)
+
+val reset : reusable -> config -> bool
+(** [reset r cfg] readies [r] for a run of [cfg], rebuilding the snapshot
+    if [cfg]'s startup projection differs from the current one.  Returns
+    [false] when reuse is unavailable and runs will fall back to fresh
+    construction (the fallback is handled inside {!run_reused}; callers
+    only need the return value for diagnostics). *)
+
+val run_reused :
+  reusable -> ?spec:Controller.spec -> config -> Invariant.outcome * info
+(** Like {!run}, but restoring [reusable]'s snapshot instead of
+    rebuilding the world when possible.  Guaranteed to produce results
+    identical to {!run} for the same [spec] and [cfg]. *)
+

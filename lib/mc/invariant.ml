@@ -26,6 +26,10 @@ type t = {
 
 let fail fmt = Format.kasprintf (fun s -> Error s) fmt
 
+(* Checks run on every explored schedule; a monomorphic test beats
+   polymorphic equality against [Ok ()] in the inner loops. *)
+let ok = function Ok () -> true | Error _ -> false
+
 let alive o i = match o.crashed with Some c -> c <> i | None -> true
 
 (* §3 property 1: the group clock never runs backwards at any replica. *)
@@ -63,25 +67,32 @@ let agreement =
     doc = "all replicas adopt the same group clock value for each round";
     check =
       (fun o ->
-        let first : (int, observation) Hashtbl.t = Hashtbl.create 64 in
-        let check_one (obs : observation) =
-          match Hashtbl.find_opt first obs.round with
-          | None ->
-              Hashtbl.replace first obs.round obs;
-              Ok ()
-          | Some w ->
-              if Time.equal w.gc obs.gc then Ok ()
-              else
-                fail
-                  "round %d: replica %d adopted %a but replica %d adopted %a"
-                  obs.round obs.replica Time.pp obs.gc w.replica Time.pp w.gc
-        in
-        let rec go = function
-          | [] -> Ok ()
-          | obs :: rest -> (
-              match check_one obs with Ok () -> go rest | Error _ as e -> e)
-        in
-        go (Array.to_list o.observations |> List.concat));
+        (* Indexed by round (rounds are small, dense integers); checked on
+           every explored schedule, so stay off hash tables and list
+           concatenation here. *)
+        let max_round = ref o.rounds in
+        Array.iter
+          (List.iter (fun (obs : observation) ->
+               if obs.round > !max_round then max_round := obs.round))
+          o.observations;
+        let max_round = !max_round in
+        let first : observation option array = Array.make (max_round + 1) None in
+        let result = ref (Ok ()) in
+        Array.iter
+          (List.iter (fun (obs : observation) ->
+               if ok !result then
+                 match first.(obs.round) with
+                 | None -> first.(obs.round) <- Some obs
+                 | Some w ->
+                     if not (Time.equal w.gc obs.gc) then
+                       result :=
+                         fail
+                           "round %d: replica %d adopted %a but replica %d \
+                            adopted %a"
+                           obs.round obs.replica Time.pp obs.gc w.replica
+                           Time.pp w.gc))
+          o.observations;
+        !result);
   }
 
 (* §3/§4.3: exactly one synchronizer per round.  Locally that means every
@@ -96,17 +107,23 @@ let single_synchronizer =
        send-or-suppress per round";
     check =
       (fun o ->
-        let distinct = Hashtbl.create 64 in
+        let max_round = ref o.rounds in
+        Array.iter
+          (List.iter (fun (obs : observation) ->
+               if obs.round > !max_round then max_round := obs.round))
+          o.observations;
+        let max_round = !max_round in
+        let distinct = Array.make (max_round + 1) false in
         let result = ref (Ok ()) in
         Array.iteri
           (fun i obs_list ->
-            if !result = Ok () && alive o i then begin
+            if ok !result && alive o i then begin
               let rounds = List.length obs_list in
               let expect = ref 1 in
               List.iter
                 (fun (obs : observation) ->
-                  Hashtbl.replace distinct obs.round ();
-                  if !result = Ok () && obs.round <> !expect then
+                  distinct.(obs.round) <- true;
+                  if ok !result && obs.round <> !expect then
                     result :=
                       fail
                         "replica %d: rounds not sequential (saw %d, expected \
@@ -116,7 +133,7 @@ let single_synchronizer =
                 obs_list;
               let s = o.stats.(i) in
               if
-                !result = Ok ()
+                ok !result
                 && s.Cts.Service.ccs_sent + s.Cts.Service.suppressed <> rounds
               then
                 result :=
@@ -133,7 +150,9 @@ let single_synchronizer =
                 (fun acc (s : Cts.Service.stats) -> acc + s.ccs_sent)
                 0 o.stats
             in
-            let rounds_seen = Hashtbl.length distinct in
+            let rounds_seen =
+              Array.fold_left (fun n b -> if b then n + 1 else n) 0 distinct
+            in
             if total_sent < rounds_seen then
               result :=
                 fail "only %d CCS messages sent for %d distinct rounds"
@@ -153,7 +172,7 @@ let no_rollback =
         let result = ref (Ok ()) in
         Array.iteri
           (fun i (s : Cts.Service.stats) ->
-            if !result = Ok () && alive o i && s.rollbacks > 0 then
+            if ok !result && alive o i && s.rollbacks > 0 then
               result :=
                 fail "replica %d: %d roll-back(s), worst %a" i s.rollbacks
                   Span.pp s.max_rollback)

@@ -10,15 +10,39 @@ type run_result = {
   violated : string option;
 }
 
-let exec cfg (seed, spec) =
+let exec ~reusable cfg (seed, spec) =
   let rcfg = { cfg with Harness.seed = seed; record_packets = false } in
-  let outcome, info = Harness.run ~spec rcfg in
+  let outcome, info = Harness.run_reused reusable ~spec rcfg in
   let violated =
     match Invariant.check_all outcome with
     | [] -> None
     | (name, _) :: _ -> Some name
   in
   { seed; spec; info; violated }
+
+(* Worker harnesses are checked out of a shared free pool rather than
+   built per worker: bounded BFS spawns a fresh set of domains per wave,
+   and without the pool every wave would pay the world-snapshot cost
+   again.  A checked-out reusable is owned by exactly one domain until it
+   is returned. *)
+let reusables : Harness.reusable list ref = ref []
+let reusables_m = Mutex.create ()
+
+let take_reusable cfg =
+  Mutex.lock reusables_m;
+  match !reusables with
+  | r :: rest ->
+      reusables := rest;
+      Mutex.unlock reusables_m;
+      r
+  | [] ->
+      Mutex.unlock reusables_m;
+      Harness.reusable { cfg with Harness.record_packets = false }
+
+let give_reusable r =
+  Mutex.lock reusables_m;
+  reusables := r :: !reusables;
+  Mutex.unlock reusables_m
 
 (* Record a violation at index [i] so the dispenser can stop handing out
    chunks past it.  The minimum only ever decreases, and chunks are
@@ -46,6 +70,7 @@ let run_tasks ~jobs ~stop_at_first cfg n task =
     let m = Mutex.create () in
     let chunk = max 1 (min 64 (n / (jobs * 4))) in
     let worker () =
+      let reusable = take_reusable cfg in
       let continue = ref true in
       while !continue do
         Mutex.lock m;
@@ -59,12 +84,13 @@ let run_tasks ~jobs ~stop_at_first cfg n task =
           next := hi;
           Mutex.unlock m;
           for i = lo to hi - 1 do
-            let r = exec cfg (task i) in
+            let r = exec ~reusable cfg (task i) in
             if r.violated <> None then note_violation min_viol i;
             results.(i) <- Some r
           done
         end
-      done
+      done;
+      give_reusable reusable
     in
     let extra = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
@@ -120,13 +146,17 @@ let explore ?(strategy = Strategy.default_random) ?(budget = 500)
   let quantum = Span.of_us quantum_us in
   let t0 = Explore.wall () in
   let c0 = Explore.cpu () in
+  (* GC parameters sized for the harness's allocation profile; set once
+     from the calling domain (worker domains inherit the minor-heap size)
+     and restored when the parallel section ends. *)
   let executed =
-    match strategy with
-    | Strategy.Random { delay_prob; reorder_prob } ->
-        explore_random ~delay_prob ~reorder_prob ~quantum ~jobs
-          ~stop_at_first ~budget cfg
-    | Strategy.Bounded { depth } ->
-        explore_bounded ~depth ~quantum ~jobs ~stop_at_first ~budget cfg
+    Dsim.Engine.with_gc_tuning (fun () ->
+        match strategy with
+        | Strategy.Random { delay_prob; reorder_prob } ->
+            explore_random ~delay_prob ~reorder_prob ~quantum ~jobs
+              ~stop_at_first ~budget cfg
+        | Strategy.Bounded { depth } ->
+            explore_bounded ~depth ~quantum ~jobs ~stop_at_first ~budget cfg)
   in
   (* Deterministic merge: everything is computed from the prefix that ends
      at the first violating schedule (or the whole run when clean), so the

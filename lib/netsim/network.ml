@@ -5,56 +5,155 @@ let default_config =
 
 type 'a port = { handler : src:Node_id.t -> 'a -> unit }
 
-type 'a t = {
+(* Pooled delivery cells.  Scheduling a packet used to allocate one
+   closure per packet capturing (t, src, dst, payload); instead the
+   fields are parked in a recycled cell and handed to the engine's
+   zero-allocation [schedule_call] path together with a top-level fire
+   function.  [d_next == cell] marks a cell in flight (off the free
+   list); the per-network [nil_d] sentinel marks the empty list.
+
+   [bcell] is the batched variant used by {!broadcast_many}: one cell
+   carries every message bound for one destination at one delivery
+   instant, so a Totem token visit that emits k messages costs one
+   queued event per destination rather than k.  Payloads are kept as
+   [Obj.t] so the growable buffer is a uniform array even when ['a]
+   would be float (a flat float array could not be scrubbed with an
+   immediate). *)
+type 'a dcell = {
+  d_net : 'a t;
+  mutable d_src : Node_id.t;
+  mutable d_dst : Node_id.t;
+  mutable d_payload : 'a;
+  mutable d_next : 'a dcell;
+}
+
+and 'a bcell = {
+  b_net : 'a t;
+  mutable b_src : Node_id.t;
+  mutable b_dst : Node_id.t;
+  mutable b_payloads : Obj.t array;
+  mutable b_n : int;
+  mutable b_time : Dsim.Time.t;
+  mutable b_next : 'a bcell;
+}
+
+and 'a t = {
   eng : Dsim.Engine.t;
   rng : Dsim.Rng.t;
   mutable cfg : config;
-  ports : (Node_id.t, 'a port) Hashtbl.t;
+  mutable ports : 'a port option array;
+      (* indexed by node id — ids are small dense ints, so arrays beat
+         hash tables on the per-packet lookup paths *)
   mutable members : Node_id.t list;
       (* attached nodes, sorted ascending — cached so [broadcast] does not
          re-sort the member set per multicast *)
   mutable groups : Node_id.Set.t list; (* empty list = no partition *)
-  sent : (Node_id.t, int) Hashtbl.t;
-  delivered : (Node_id.t, int) Hashtbl.t;
-  last_delivery : (Node_id.t, (Node_id.t, Dsim.Time.t) Hashtbl.t) Hashtbl.t;
-      (* per (src, dst) path: FIFO ordering, like a switched LAN.  Nested
-         by src so a lookup hashes two immediates instead of boxing a
-         tuple per packet. *)
+  mutable sent : int array; (* per-node sent counter, indexed by id *)
+  mutable delivered : int array;
+  mutable last_delivery : int array array;
+      (* per (src, dst) path: last delivery instant in ns ([-1] = never),
+         FIFO ordering like a switched LAN.  Rows are created lazily per
+         src and sized to the port table. *)
   mutable dropped : int;
   mutable tracer : 'a Trace.t option;
   mutable delay_hook : (src:Node_id.t -> dst:Node_id.t -> Dsim.Time.Span.t) option;
+  nil_d : 'a dcell;
+  mutable free_d : 'a dcell;
+  nil_b : 'a bcell;
+  mutable free_b : 'a bcell;
 }
+
+let obj_zero = Obj.repr 0
+
+(* Sentinels are never fired, so their net/src/dst slots are never read;
+   an immediate 0 is a safe placeholder for any of them. *)
+let make_nil_dcell () : 'a dcell =
+  let rec c =
+    {
+      d_net = Obj.magic 0;
+      d_src = Obj.magic 0;
+      d_dst = Obj.magic 0;
+      d_payload = Obj.magic 0;
+      d_next = c;
+    }
+  in
+  c
+
+let make_nil_bcell () : 'a bcell =
+  let rec c =
+    {
+      b_net = Obj.magic 0;
+      b_src = Obj.magic 0;
+      b_dst = Obj.magic 0;
+      b_payloads = [||];
+      b_n = 0;
+      b_time = Dsim.Time.epoch;
+      b_next = c;
+    }
+  in
+  c
 
 let create eng cfg =
   if cfg.loss < 0. || cfg.loss >= 1. then
     invalid_arg "Network.create: loss out of [0, 1)";
+  let nil_d = make_nil_dcell () and nil_b = make_nil_bcell () in
   {
     eng;
     rng = Dsim.Rng.split (Dsim.Engine.rng eng);
     cfg;
-    ports = Hashtbl.create 16;
+    ports = [||];
     members = [];
     groups = [];
-    sent = Hashtbl.create 16;
-    delivered = Hashtbl.create 16;
-    last_delivery = Hashtbl.create 64;
+    sent = [||];
+    delivered = [||];
+    last_delivery = [||];
     dropped = 0;
     tracer = None;
     delay_hook = None;
+    nil_d;
+    free_d = nil_d;
+    nil_b;
+    free_b = nil_b;
   }
 
+let rng t = t.rng
+
+let grow_to len a fill =
+  let n = Array.length a in
+  if len <= n then a
+  else begin
+    let a' = Array.make (max len (2 * n)) fill in
+    Array.blit a 0 a' 0 n;
+    a'
+  end
+
+(* Make every per-node table cover node [id]. *)
+let ensure_node t id =
+  let i = Node_id.to_int id in
+  if i >= Array.length t.ports then begin
+    t.ports <- grow_to (i + 1) t.ports None;
+    t.sent <- grow_to (i + 1) t.sent 0;
+    t.delivered <- grow_to (i + 1) t.delivered 0
+  end
+
+let port_of t id =
+  let i = Node_id.to_int id in
+  if i < Array.length t.ports then Array.unsafe_get t.ports i else None
+
 let attach t id handler =
-  if Hashtbl.mem t.ports id then
+  ensure_node t id;
+  if port_of t id <> None then
     invalid_arg
       (Format.asprintf "Network.attach: %a already attached" Node_id.pp id);
-  Hashtbl.replace t.ports id { handler };
+  t.ports.(Node_id.to_int id) <- Some { handler };
   t.members <- List.sort Node_id.compare (id :: t.members)
 
 let detach t id =
-  Hashtbl.remove t.ports id;
+  let i = Node_id.to_int id in
+  if i < Array.length t.ports then t.ports.(i) <- None;
   t.members <- List.filter (fun n -> not (Node_id.equal n id)) t.members
 
-let attached t id = Hashtbl.mem t.ports id
+let attached t id = port_of t id <> None
 let nodes t = t.members
 
 (* Call sites guard with [tracing] so the trace event (a boxed record per
@@ -66,8 +165,15 @@ let trace_event t ev =
   | Some tr -> Trace.record tr ~at:(Dsim.Engine.now t.eng) ev
   | None -> ()
 
-let bump tbl id =
-  Hashtbl.replace tbl id (1 + Option.value ~default:0 (Hashtbl.find_opt tbl id))
+let bump_sent t id =
+  ensure_node t id;
+  let i = Node_id.to_int id in
+  t.sent.(i) <- t.sent.(i) + 1
+
+(* Only called once [port_of] found the destination, so [id] is in range. *)
+let bump_delivered t id =
+  let i = Node_id.to_int id in
+  Array.unsafe_set t.delivered i (Array.unsafe_get t.delivered i + 1)
 
 let reachable t ~src ~dst =
   match t.groups with
@@ -77,13 +183,72 @@ let reachable t ~src ~dst =
         (fun g -> Node_id.Set.mem src g && Node_id.Set.mem dst g)
         groups
 
+(* The FIFO row for [src], sized to the port table; cells hold the last
+   delivery instant in ns, [-1] when the path is untouched. *)
 let paths_from t src =
-  match Hashtbl.find_opt t.last_delivery src with
-  | Some inner -> inner
+  let i = Node_id.to_int src in
+  if i >= Array.length t.last_delivery then
+    t.last_delivery <- grow_to (i + 1) t.last_delivery [||];
+  let row = t.last_delivery.(i) in
+  let want = Array.length t.ports in
+  if Array.length row < want then begin
+    let row = grow_to want row (-1) in
+    t.last_delivery.(i) <- row;
+    row
+  end
+  else row
+
+let path_prev (row : int array) dst =
+  let j = Node_id.to_int dst in
+  if j < Array.length row then Array.unsafe_get row j else -1
+
+let path_set (row : int array) dst ns =
+  Array.unsafe_set row (Node_id.to_int dst) ns
+
+let acquire_dcell t ~src ~dst payload =
+  let c = t.free_d in
+  let c =
+    if c != t.nil_d then begin
+      t.free_d <- c.d_next;
+      c.d_next <- c;
+      c
+    end
+    else
+      let rec fresh =
+        {
+          d_net = t;
+          d_src = src;
+          d_dst = dst;
+          d_payload = payload;
+          d_next = fresh;
+        }
+      in
+      fresh
+  in
+  c.d_src <- src;
+  c.d_dst <- dst;
+  c.d_payload <- payload;
+  c
+
+(* Fires as a pooled engine call: deliver one packet, then recycle the
+   cell.  The payload is scrubbed and the cell released {e before} the
+   handler runs so a handler that immediately sends can reuse it. *)
+let dcell_fire (c : 'a dcell) =
+  let t = c.d_net in
+  let src = c.d_src and dst = c.d_dst and payload = c.d_payload in
+  c.d_payload <- Obj.magic 0;
+  c.d_next <- t.free_d;
+  t.free_d <- c;
+  (* The destination may have crashed while the packet was in flight. *)
+  match port_of t dst with
   | None ->
-      let inner = Hashtbl.create 8 in
-      Hashtbl.replace t.last_delivery src inner;
-      inner
+      t.dropped <- t.dropped + 1;
+      if tracing t then
+        trace_event t (Trace.Dropped { src; dst; payload; reason = Trace.No_port })
+  | Some port ->
+      bump_delivered t dst;
+      if tracing t then trace_event t (Trace.Delivered { src; dst; payload });
+      port.handler ~src payload
 
 let deliver t ~src ~dst payload =
   if reachable t ~src ~dst then
@@ -104,28 +269,16 @@ let deliver t ~src ~dst payload =
         | None -> lat
       in
       let at = Dsim.Time.add (Dsim.Engine.now t.eng) lat in
-      let paths = paths_from t src in
-      let at =
-        match Hashtbl.find_opt paths dst with
-        | Some prev when Dsim.Time.(at <= prev) ->
-            Dsim.Time.add prev (Dsim.Time.Span.of_ns 1)
-        | _ -> at
+      ensure_node t dst;
+      let row = paths_from t src in
+      let prev = path_prev row dst in
+      let at_ns =
+        let ns = Dsim.Time.to_ns at in
+        if ns <= prev then prev + 1 else ns
       in
-      Hashtbl.replace paths dst at;
-      Dsim.Engine.schedule_at t.eng at (fun () ->
-          (* The destination may have crashed while the packet was in
-             flight. *)
-          match Hashtbl.find_opt t.ports dst with
-          | None ->
-              t.dropped <- t.dropped + 1;
-              if tracing t then
-                trace_event t
-                  (Trace.Dropped { src; dst; payload; reason = Trace.No_port })
-          | Some port ->
-              bump t.delivered dst;
-              if tracing t then
-                trace_event t (Trace.Delivered { src; dst; payload });
-              port.handler ~src payload)
+      path_set row dst at_ns;
+      Dsim.Engine.schedule_call_at t.eng (Dsim.Time.of_ns at_ns) dcell_fire
+        (acquire_dcell t ~src ~dst payload)
     end
   else begin
     t.dropped <- t.dropped + 1;
@@ -135,17 +288,153 @@ let deliver t ~src ~dst payload =
   end
 
 let send t ~src ~dst payload =
-  bump t.sent src;
+  bump_sent t src;
   if tracing t then trace_event t (Trace.Sent { src; dst = Some dst; payload });
   deliver t ~src ~dst payload
 
 let broadcast t ~src payload =
-  bump t.sent src;
+  bump_sent t src;
   if tracing t then trace_event t (Trace.Sent { src; dst = None; payload });
   List.iter
     (fun dst ->
       if not (Node_id.equal dst src) then deliver t ~src ~dst payload)
     t.members
+
+let acquire_bcell t ~src ~dst ~at =
+  let b = t.free_b in
+  let b =
+    if b != t.nil_b then begin
+      t.free_b <- b.b_next;
+      b.b_next <- b;
+      b
+    end
+    else
+      let rec fresh =
+        {
+          b_net = t;
+          b_src = src;
+          b_dst = dst;
+          b_payloads = Array.make 8 obj_zero;
+          b_n = 0;
+          b_time = at;
+          b_next = fresh;
+        }
+      in
+      fresh
+  in
+  b.b_src <- src;
+  b.b_dst <- dst;
+  b.b_time <- at;
+  b
+
+let bcell_append b payload =
+  let cap = Array.length b.b_payloads in
+  if b.b_n = cap then begin
+    let a = Array.make (if cap = 0 then 8 else 2 * cap) obj_zero in
+    Array.blit b.b_payloads 0 a 0 b.b_n;
+    b.b_payloads <- a
+  end;
+  Array.unsafe_set b.b_payloads b.b_n (Obj.repr payload);
+  b.b_n <- b.b_n + 1
+
+(* Deliver the whole batch in append order.  The port is re-checked per
+   message because a handler may detach the destination mid-batch; the
+   cell is recycled only after the loop — while in flight it is off the
+   free list, so reentrant broadcasts from handlers cannot corrupt it. *)
+let bcell_fire (b : 'a bcell) =
+  let t = b.b_net in
+  let src = b.b_src and dst = b.b_dst in
+  let n = b.b_n in
+  for i = 0 to n - 1 do
+    let payload : 'a = Obj.obj (Array.unsafe_get b.b_payloads i) in
+    match port_of t dst with
+    | None ->
+        t.dropped <- t.dropped + 1;
+        if tracing t then
+          trace_event t
+            (Trace.Dropped { src; dst; payload; reason = Trace.No_port })
+    | Some port ->
+        bump_delivered t dst;
+        if tracing t then trace_event t (Trace.Delivered { src; dst; payload });
+        port.handler ~src payload
+  done;
+  for i = 0 to n - 1 do
+    Array.unsafe_set b.b_payloads i obj_zero
+  done;
+  b.b_n <- 0;
+  b.b_next <- t.free_b;
+  t.free_b <- b
+
+let broadcast_many t ~src payloads ~n =
+  if n < 0 || n > Array.length payloads then
+    invalid_arg "Network.broadcast_many: n out of range";
+  if n = 1 then broadcast t ~src payloads.(0)
+  else if n > 0 then begin
+    for i = 0 to n - 1 do
+      bump_sent t src;
+      if tracing t then
+        trace_event t (Trace.Sent { src; dst = None; payload = payloads.(i) })
+    done;
+    let now_ns = Dsim.Time.to_ns (Dsim.Engine.now t.eng) in
+    let paths = paths_from t src in
+    List.iter
+      (fun dst ->
+        if not (Node_id.equal dst src) then begin
+          if reachable t ~src ~dst then begin
+            (* Per-destination batching: consecutive messages whose raw
+               delivery instant does not exceed the open batch's instant
+               ride in the same queued event (delivered in send order, so
+               path FIFO holds); a later instant closes the batch and
+               opens a new one, subject to the same no-overtaking bump as
+               the unbatched path. *)
+            let batch = ref t.nil_b in
+            let clock = ref (path_prev paths dst) in
+            for i = 0 to n - 1 do
+              let payload = payloads.(i) in
+              if t.cfg.loss > 0. && Dsim.Rng.float t.rng 1.0 < t.cfg.loss
+              then begin
+                t.dropped <- t.dropped + 1;
+                if tracing t then
+                  trace_event t
+                    (Trace.Dropped { src; dst; payload; reason = Trace.Loss })
+              end
+              else begin
+                let lat = Latency.sample t.rng t.cfg.latency in
+                let lat =
+                  match t.delay_hook with
+                  | Some hook -> Dsim.Time.Span.add lat (hook ~src ~dst)
+                  | None -> lat
+                in
+                let raw = now_ns + Dsim.Time.Span.to_ns lat in
+                let b = !batch in
+                if b != t.nil_b && raw <= Dsim.Time.to_ns b.b_time then
+                  bcell_append b payload
+                else begin
+                  let at_ns = if raw <= !clock then !clock + 1 else raw in
+                  let at = Dsim.Time.of_ns at_ns in
+                  let nb = acquire_bcell t ~src ~dst ~at in
+                  bcell_append nb payload;
+                  Dsim.Engine.schedule_call_at t.eng at bcell_fire nb;
+                  batch := nb;
+                  clock := at_ns
+                end
+              end
+            done;
+            if !clock >= 0 then path_set paths dst !clock
+          end
+          else begin
+            for i = 0 to n - 1 do
+              t.dropped <- t.dropped + 1;
+              if tracing t then
+                trace_event t
+                  (Trace.Dropped
+                     { src; dst; payload = payloads.(i);
+                       reason = Trace.Partitioned })
+            done
+          end
+        end)
+      t.members
+  end
 
 let set_loss t loss =
   if loss < 0. || loss >= 1. then invalid_arg "Network.set_loss: out of [0, 1)";
@@ -157,8 +446,9 @@ let partition t groups =
 let heal t = t.groups <- []
 
 let stats t ~sent id =
-  let tbl = if sent then t.sent else t.delivered in
-  Option.value ~default:0 (Hashtbl.find_opt tbl id)
+  let a = if sent then t.sent else t.delivered in
+  let i = Node_id.to_int id in
+  if i < Array.length a then a.(i) else 0
 
 let packets_dropped t = t.dropped
 let attach_trace t tr = t.tracer <- Some tr

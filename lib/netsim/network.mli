@@ -20,6 +20,11 @@ val default_config : config
 
 val create : Dsim.Engine.t -> config -> 'a t
 
+val rng : 'a t -> Dsim.Rng.t
+(** The network's private random stream (split from the engine's at
+    {!create} time).  Exposed so a snapshot/restore facility can rewind
+    it; ordinary clients never need it. *)
+
 val attach : 'a t -> Node_id.t -> (src:Node_id.t -> 'a -> unit) -> unit
 (** Register a node's receive handler.  Raises [Invalid_argument] if the
     node is already attached. *)
@@ -39,6 +44,20 @@ val send : 'a t -> src:Node_id.t -> dst:Node_id.t -> 'a -> unit
 val broadcast : 'a t -> src:Node_id.t -> 'a -> unit
 (** Deliver to every attached node except [src], subject to loss and
     partitions, with an independent latency draw per receiver. *)
+
+val broadcast_many : 'a t -> src:Node_id.t -> 'a array -> n:int -> unit
+(** [broadcast_many net ~src payloads ~n] broadcasts [payloads.(0)] ..
+    [payloads.(n-1)] in order, as if by [n] consecutive {!broadcast}
+    calls at the same instant, but batched: per destination, consecutive
+    messages sharing a delivery instant are drained by a single queued
+    event instead of one event per message.  Per-message semantics are
+    preserved — send order per path (FIFO), an independent loss and
+    latency draw per (message, receiver) pair, per-message stats and
+    trace records — except that messages a batch absorbs share its
+    delivery timestamp instead of being spread by the 1 ns FIFO
+    tie-break.  [payloads] is read before returning and may be reused by
+    the caller afterwards.  Raises [Invalid_argument] if [n] is negative
+    or exceeds the array length. *)
 
 val set_loss : 'a t -> float -> unit
 

@@ -186,6 +186,16 @@ let drift_slope run =
   in
   (Stats.Regression.fit points).Stats.Regression.slope
 
+let drift_per_round run =
+  let points =
+    Array.to_list run.samples
+    |> List.concat_map
+         (List.map (fun s ->
+              ( float_of_int s.round,
+                float_of_int (Span.to_us (Time.diff s.gc s.real)) )))
+  in
+  (Stats.Regression.fit points).Stats.Regression.slope
+
 (* ------------------------------------------------------------------ *)
 (* A2 — roll-back / fast-forward on failover                           *)
 

@@ -55,7 +55,18 @@ val skew :
 
 val drift_slope : skew_run -> float
 (** Drift rate of the group clock against real time in µs per second
-    (negative = group clock runs slow), fitted over all replicas' samples. *)
+    (negative = group clock runs slow), fitted over all replicas' samples.
+    Note that this figure scales with the operation rate: without
+    compensation, each CCS round loses a bounded amount (roughly half the
+    one-way message delay), so issuing rounds faster makes the per-second
+    slope proportionally steeper.  Use {!drift_per_round} to compare runs
+    with different think times. *)
+
+val drift_per_round : skew_run -> float
+(** Drift of the group clock in µs per completed round, fitted against
+    the round index instead of real time.  Rate-independent: the per-round
+    loss is a property of the algorithm and the message delays, not of how
+    frequently the application reads the clock. *)
 
 (** {1 A2 — roll-back / fast-forward on failover} *)
 

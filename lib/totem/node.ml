@@ -60,6 +60,11 @@ type 'a t = {
          messages may still need recovering *)
   mutable members : Nid.t list;
   mutable stores : 'a Store.t Ring_id.Map.t;
+  mutable store_memo : (Ring_id.t * 'a Store.t) option;
+      (* one-entry cache over [stores]: the hot path (token visits,
+         regular receives) hits the same ring every time, and the map
+         lookup is measurable there.  Invalidated when [stores] drops
+         entries. *)
   pending : ('a * (unit -> bool) option) Queue.t;
       (* payload + optional cancellation predicate evaluated at broadcast
          time (the paper's token-level duplicate suppression) *)
@@ -75,6 +80,12 @@ type 'a t = {
   mutable stat_views : int;
   mutable stat_delivered : int;
   mutable token_probe : (Wire.token -> unit) option;
+  mutable out_buf : 'a Wire.t array;
+      (* reusable per-visit send buffer: retransmits and fresh broadcasts
+         accumulate here during [accept_token] and go out in one batched
+         [broadcast_many], so a visit costs one queued event per peer
+         rather than one per message *)
+  mutable out_n : int;
 }
 
 let me t = t.me
@@ -112,12 +123,39 @@ let after_token t span f =
 let bcast t msg = Netsim.Network.broadcast t.net ~src:t.me msg
 let unicast t ~dst msg = Netsim.Network.send t.net ~src:t.me ~dst msg
 
+let out_push t msg =
+  let cap = Array.length t.out_buf in
+  if t.out_n = cap then begin
+    let a = Array.make (if cap = 0 then 8 else 2 * cap) msg in
+    Array.blit t.out_buf 0 a 0 t.out_n;
+    t.out_buf <- a
+  end;
+  t.out_buf.(t.out_n) <- msg;
+  t.out_n <- t.out_n + 1
+
+let out_flush t =
+  if t.out_n > 0 then begin
+    Netsim.Network.broadcast_many t.net ~src:t.me t.out_buf ~n:t.out_n;
+    (* Scrub so buffered messages do not outlive the visit. *)
+    for i = 0 to t.out_n - 1 do
+      t.out_buf.(i) <- Obj.magic 0
+    done;
+    t.out_n <- 0
+  end
+
 let store_for t ring =
-  match Ring_id.Map.find_opt ring t.stores with
-  | Some s -> s
-  | None ->
-      let s = Store.create () in
-      t.stores <- Ring_id.Map.add ring s t.stores;
+  match t.store_memo with
+  | Some (r, s) when Ring_id.equal r ring -> s
+  | _ ->
+      let s =
+        match Ring_id.Map.find_opt ring t.stores with
+        | Some s -> s
+        | None ->
+            let s = Store.create () in
+            t.stores <- Ring_id.Map.add ring s t.stores;
+            s
+      in
+      t.store_memo <- Some (ring, s);
       s
 
 let known_store t ring = Ring_id.Map.find_opt ring t.stores
@@ -420,6 +458,7 @@ and maybe_finish_recovery t (rs : recovery_state) =
     (* Only the new ring's store remains relevant. *)
     t.stores <-
       Ring_id.Map.filter (fun r _ -> Ring_id.equal r c.new_ring) t.stores;
+    t.store_memo <- None;
     t.handler (View { ring = c.new_ring; members = c.members });
     Log.debug (fun m ->
         m "%a: operational on %a" Nid.pp t.me Ring_id.pp c.new_ring);
@@ -540,7 +579,7 @@ and accept_token t (tok : Wire.token) =
       match Store.find s seq with
       | Some msg ->
           t.stat_retrans <- t.stat_retrans + 1;
-          bcast t (Wire.Regular msg)
+          out_push t (Wire.Regular msg)
       | None -> ())
     satisfied;
   (* 2. Add our own gaps to the retransmission list. *)
@@ -562,10 +601,12 @@ and accept_token t (tok : Wire.token) =
       in
       ignore (Store.add s msg : bool);
       t.stat_sent <- t.stat_sent + 1;
-      bcast t (Wire.Regular msg);
+      out_push t (Wire.Regular msg);
       incr sent
     end
   done;
+  (* Retransmits then fresh messages, in push order, one batch per peer. *)
+  out_flush t;
   tok.fcc <- max 0 (tok.fcc + !sent - t.last_visit_count);
   t.last_visit_count <- !sent;
   (* 4. Update the all-received-up-to field (Totem's rule: the owner of the
@@ -601,7 +642,11 @@ and accept_token t (tok : Wire.token) =
       (Dsim.Time.Span.scale (float_of_int work) t.cfg.per_msg_cost)
   in
   tok.token_seq <- tok.token_seq + 1;
-  let out = Wire.copy_token tok in
+  (* [tok] is exclusively ours once accepted (every transmission sends a
+     fresh copy), and this visit was its last mutation — so it can serve
+     directly as the retransmission master instead of being copied again
+     here. *)
+  let out = tok in
   let dst = successor t in
   let era = t.token_era in
   after t hold (fun () ->
@@ -797,6 +842,7 @@ let create eng net ~me ?(config = Config.default) ~handler () =
       ring = None;
       members = [];
       stores = Ring_id.Map.empty;
+      store_memo = None;
       pending = Queue.create ();
       max_gen = 0;
       epoch = 0;
@@ -810,6 +856,8 @@ let create eng net ~me ?(config = Config.default) ~handler () =
       stat_views = 0;
       stat_delivered = 0;
       token_probe = None;
+      out_buf = [||];
+      out_n = 0;
     }
   in
   Netsim.Network.attach net me (fun ~src msg -> dispatch t ~src msg);

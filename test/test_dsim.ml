@@ -186,6 +186,58 @@ let test_engine_rejects_past () =
         (fun () -> Engine.schedule_at eng (Time.of_us 5) ignore));
   Engine.run eng
 
+(* Pooled events must interleave with closure events in exact (time,
+   insertion) order: the pool recycles cells, not ordering. *)
+let test_engine_schedule_call_order () =
+  let eng = Engine.create () in
+  let hits = ref [] in
+  let hit tag = hits := tag :: !hits in
+  Engine.schedule_call eng (Span.of_us 2) hit "call@2";
+  Engine.schedule eng (Span.of_us 1) (fun () -> hit "closure@1");
+  Engine.schedule_call eng (Span.of_us 1) hit "call@1";
+  Engine.schedule_call_at eng (Time.of_us 3) hit "call_at@3";
+  Engine.schedule eng (Span.of_us 2) (fun () -> hit "closure@2");
+  Engine.run eng;
+  check
+    (Alcotest.list Alcotest.string)
+    "pooled and closure events share one order"
+    [ "closure@1"; "call@1"; "call@2"; "closure@2"; "call_at@3" ]
+    (List.rev !hits)
+
+(* A pooled callback may re-schedule from inside its own firing: the cell
+   is released before the callback runs, so the very same cell can carry
+   the next event, with the right argument each time. *)
+let test_engine_schedule_call_reentrant () =
+  let eng = Engine.create () in
+  let seen = ref [] in
+  let rec chain n =
+    seen := n :: !seen;
+    if n < 5 then Engine.schedule_call eng (Span.of_us 1) chain (n + 1)
+  in
+  Engine.schedule_call eng (Span.of_us 1) chain 1;
+  Engine.run eng;
+  check (Alcotest.list int) "re-scheduling from a pooled event" [ 1; 2; 3; 4; 5 ]
+    (List.rev !seen);
+  check int "virtual time advanced per hop" 5 (Time.to_us (Engine.now eng))
+
+let test_with_gc_tuning_restores () =
+  let before = Gc.get () in
+  let inside =
+    Engine.with_gc_tuning ~minor_heap_words:(512 * 1024) (fun () ->
+        (Gc.get ()).Gc.minor_heap_size)
+  in
+  check int "tuned inside" (512 * 1024) inside;
+  check int "minor heap restored" before.Gc.minor_heap_size
+    (Gc.get ()).Gc.minor_heap_size;
+  check int "space overhead restored" before.Gc.space_overhead
+    (Gc.get ()).Gc.space_overhead;
+  (* restored even when the body raises *)
+  (try
+     Engine.with_gc_tuning (fun () -> raise Exit)
+   with Exit -> ());
+  check int "restored after raise" before.Gc.minor_heap_size
+    (Gc.get ()).Gc.minor_heap_size
+
 (* ------------------------------------------------------------------ *)
 (* Fibers *)
 
@@ -396,6 +448,12 @@ let suites =
         Alcotest.test_case "nested" `Quick test_engine_nested_schedule;
         Alcotest.test_case "stop" `Quick test_engine_stop;
         Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+        Alcotest.test_case "schedule_call order" `Quick
+          test_engine_schedule_call_order;
+        Alcotest.test_case "schedule_call reentrant" `Quick
+          test_engine_schedule_call_reentrant;
+        Alcotest.test_case "with_gc_tuning restores" `Quick
+          test_with_gc_tuning_restores;
       ] );
     ( "dsim.fiber",
       [

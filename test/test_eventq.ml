@@ -6,11 +6,12 @@
 module Time = Dsim.Time
 module Eq = Dsim.Event_queue
 
-type op = Push of int | Pop | Pop_nth of int | Clear
+type op = Push of int | Pop | Pop_min | Pop_nth of int | Clear
 
 let pp_op = function
   | Push t -> Printf.sprintf "push@%d" t
   | Pop -> "pop"
+  | Pop_min -> "pop_min"
   | Pop_nth n -> Printf.sprintf "pop_nth %d" n
   | Clear -> "clear"
 
@@ -20,6 +21,7 @@ let op_gen =
       [
         (6, map (fun t -> Push t) (int_range 0 15));
         (3, return Pop);
+        (3, return Pop_min);
         (2, map (fun n -> Pop_nth n) (int_range 0 5));
         (1, return Clear);
       ])
@@ -92,6 +94,19 @@ let prop_matches_model =
               let expect, model' = model_pop_nth !model 0 in
               model := model';
               same_opt "pop" got
+                (Option.map (fun (at, id) -> (Time.of_ns at, id)) expect)
+          | Pop_min ->
+              (* The engine's allocation-free fast path: min_time_exn
+                 followed by pop_min_exn must agree with [pop]. *)
+              let got =
+                if Eq.is_empty q then None
+                else
+                  let at = Eq.min_time_exn q in
+                  Some (at, Eq.pop_min_exn q)
+              in
+              let expect, model' = model_pop_nth !model 0 in
+              model := model';
+              same_opt "pop_min" got
                 (Option.map (fun (at, id) -> (Time.of_ns at, id)) expect)
           | Pop_nth n ->
               let got = Eq.pop_nth q n in

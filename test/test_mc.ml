@@ -150,6 +150,78 @@ let test_harness_replay_deviations () =
     info'.Mc.Harness.fingerprint
 
 (* ------------------------------------------------------------------ *)
+(* Harness reuse: snapshot-restored worlds must be trace-identical to
+   fresh construction, run after run, for every configuration shape the
+   explorer feeds them. *)
+
+let spec_with_walk seed =
+  {
+    Mc.Controller.forced = [];
+    random =
+      Some { Mc.Controller.seed; delay_prob = 0.05; reorder_prob = 0.5 };
+    quantum = Span.of_us 200;
+  }
+
+let check_reused_matches_fresh name r cfg spec =
+  let o_fresh, i_fresh = Mc.Harness.run ~spec cfg in
+  let o_reused, i_reused = Mc.Harness.run_reused r ~spec cfg in
+  check int (name ^ ": fingerprint") i_fresh.Mc.Harness.fingerprint
+    i_reused.Mc.Harness.fingerprint;
+  check int (name ^ ": steps") i_fresh.Mc.Harness.steps
+    i_reused.Mc.Harness.steps;
+  check int (name ^ ": packets") i_fresh.Mc.Harness.packets
+    i_reused.Mc.Harness.packets;
+  check bool (name ^ ": deviations") true
+    (i_fresh.Mc.Harness.deviations = i_reused.Mc.Harness.deviations);
+  check bool (name ^ ": invariant results") true
+    (Mc.Invariant.check_all o_fresh = Mc.Invariant.check_all o_reused)
+
+let test_reuse_matches_fresh_across_seeds () =
+  let r = Mc.Harness.reusable (cfg 8) in
+  check bool "reset available" true (Mc.Harness.reset r (cfg 8));
+  List.iter
+    (fun seed ->
+      let c = { (cfg 8) with Mc.Harness.seed } in
+      check_reused_matches_fresh
+        (Printf.sprintf "seed %Ld default spec" seed)
+        r c Mc.Controller.default_spec;
+      check_reused_matches_fresh
+        (Printf.sprintf "seed %Ld random walk" seed)
+        r c
+        (spec_with_walk (Int64.add seed 13L)))
+    [ 1L; 2L; 99L ]
+
+let test_reuse_matches_fresh_across_variants () =
+  let variants =
+    [
+      ("crash", { (cfg 8) with Mc.Harness.crash_at_round = Some 4 });
+      ("seeded bug", { (cfg 8) with Mc.Harness.bug = Some Mc.Harness.Ignore_buffered_winner });
+      ("straggler", { (cfg 8) with Mc.Harness.straggle_us = 400 });
+      ("no jitter", { (cfg 8) with Mc.Harness.jitter_us = 0 });
+    ]
+  in
+  let r = Mc.Harness.reusable (cfg 8) in
+  List.iter
+    (fun (name, c) ->
+      check_reused_matches_fresh (name ^ " default spec") r c
+        Mc.Controller.default_spec;
+      check_reused_matches_fresh (name ^ " random walk") r c
+        (spec_with_walk 7L))
+    variants
+
+let test_reuse_rebuilds_on_projection_change () =
+  let r = Mc.Harness.reusable (cfg 8) in
+  (* replicas is part of the startup projection: reset must rebuild and
+     stay trace-identical to fresh construction. *)
+  let c4 = { (cfg 8) with Mc.Harness.replicas = 4 } in
+  check bool "reset after projection change" true (Mc.Harness.reset r c4);
+  check_reused_matches_fresh "replicas=4" r c4 Mc.Controller.default_spec;
+  let c3 = cfg 8 in
+  check bool "reset back" true (Mc.Harness.reset r c3);
+  check_reused_matches_fresh "back to replicas=3" r c3
+    Mc.Controller.default_spec
+
+(* ------------------------------------------------------------------ *)
 (* Invariant checks on hand-built outcomes *)
 
 let obs replica round gc_us =
@@ -404,6 +476,15 @@ let suites =
         Alcotest.test_case "deterministic" `Quick test_harness_deterministic;
         Alcotest.test_case "replay deviations" `Quick
           test_harness_replay_deviations;
+      ] );
+    ( "mc.reuse",
+      [
+        Alcotest.test_case "matches fresh across seeds" `Quick
+          test_reuse_matches_fresh_across_seeds;
+        Alcotest.test_case "matches fresh across variants" `Quick
+          test_reuse_matches_fresh_across_variants;
+        Alcotest.test_case "rebuilds on projection change" `Quick
+          test_reuse_rebuilds_on_projection_change;
       ] );
     ( "mc.invariants",
       [

@@ -47,6 +47,87 @@ let test_loopback_unicast_allowed () =
   Dsim.Engine.run eng;
   check int "self-send delivered" 1 !got
 
+(* broadcast_many batches deliveries per destination but must keep
+   per-message semantics: send order per path, one callback per message,
+   and batch-absorbed messages sharing the batch's delivery instant. *)
+let test_broadcast_many_order_and_count () =
+  let eng = Dsim.Engine.create () in
+  let net = constant_net eng 10 in
+  let got = Array.make 3 [] in
+  for i = 0 to 2 do
+    Net.attach net (n i) (fun ~src msg ->
+        got.(i) <-
+          (Nid.to_int src, msg, Time.to_us (Dsim.Engine.now eng)) :: got.(i))
+  done;
+  Net.broadcast_many net ~src:(n 0) [| "a"; "b"; "c"; "unused" |] ~n:3;
+  Dsim.Engine.run eng;
+  check int "sender got nothing" 0 (List.length got.(0));
+  List.iter
+    (fun i ->
+      match List.rev got.(i) with
+      | [ (0, "a", t1); (0, "b", t2); (0, "c", t3) ] ->
+          check bool "FIFO timestamps" true (t1 <= t2 && t2 <= t3)
+      | _ -> Alcotest.fail "per-message FIFO delivery violated")
+    [ 1; 2 ];
+  (* one sent-count per broadcast message, exactly as [broadcast] *)
+  check int "per-message send stat" 3 (Net.stats net ~sent:true (n 0))
+
+(* A batch must agree with the same messages sent by consecutive
+   [broadcast] calls, payload-for-payload, on every destination. *)
+let test_broadcast_many_matches_broadcasts () =
+  let run use_many =
+    let eng = Dsim.Engine.create () in
+    let net = constant_net eng 7 in
+    let got = Array.make 4 [] in
+    for i = 0 to 3 do
+      Net.attach net (n i) (fun ~src:_ msg -> got.(i) <- msg :: got.(i))
+    done;
+    let payloads = [| 10; 20; 30 |] in
+    if use_many then Net.broadcast_many net ~src:(n 1) payloads ~n:3
+    else Array.iter (fun p -> Net.broadcast net ~src:(n 1) p) payloads;
+    Dsim.Engine.run eng;
+    Array.map List.rev got
+  in
+  let batched = run true and plain = run false in
+  Array.iteri
+    (fun i msgs ->
+      check (Alcotest.list int)
+        (Printf.sprintf "node %d payload sequence" i)
+        plain.(i) msgs)
+    batched
+
+let test_broadcast_many_respects_partition () =
+  let eng = Dsim.Engine.create () in
+  let net = constant_net eng 5 in
+  let counts = Array.make 4 0 in
+  for i = 0 to 3 do
+    Net.attach net (n i) (fun ~src:_ _ -> counts.(i) <- counts.(i) + 1)
+  done;
+  Net.partition net [ [ n 0; n 1 ]; [ n 2; n 3 ] ];
+  Net.broadcast_many net ~src:(n 0) [| "x"; "y" |] ~n:2;
+  Dsim.Engine.run eng;
+  check (Alcotest.list int) "only same-side peer reached" [ 0; 2; 0; 0 ]
+    (Array.to_list counts);
+  check int "cross-partition drops accounted" 4 (Net.packets_dropped net)
+
+let test_broadcast_many_loss_per_message () =
+  let eng = Dsim.Engine.create () in
+  let net =
+    Net.create eng
+      { Net.latency = Netsim.Latency.Constant (Span.of_us 5); loss = 0.5 }
+  in
+  let got = ref 0 in
+  Net.attach net (n 0) (fun ~src:_ _ -> ());
+  Net.attach net (n 1) (fun ~src:_ _ -> incr got);
+  let batch = [| "m" |] in
+  for _ = 1 to 1000 do
+    Net.broadcast_many net ~src:(n 0) batch ~n:1
+  done;
+  Dsim.Engine.run eng;
+  (* An independent draw per (message, receiver): roughly half arrive. *)
+  check bool "roughly half dropped" true (!got > 400 && !got < 600);
+  check int "drop accounting" (1000 - !got) (Net.packets_dropped net)
+
 let test_detach_drops_in_flight () =
   let eng = Dsim.Engine.create () in
   let net = constant_net eng 10 in
@@ -275,6 +356,14 @@ let suites =
         Alcotest.test_case "unicast" `Quick test_unicast_delivery;
         Alcotest.test_case "broadcast" `Quick test_broadcast_excludes_sender;
         Alcotest.test_case "loopback" `Quick test_loopback_unicast_allowed;
+        Alcotest.test_case "broadcast_many order" `Quick
+          test_broadcast_many_order_and_count;
+        Alcotest.test_case "broadcast_many = broadcasts" `Quick
+          test_broadcast_many_matches_broadcasts;
+        Alcotest.test_case "broadcast_many partition" `Quick
+          test_broadcast_many_respects_partition;
+        Alcotest.test_case "broadcast_many loss" `Quick
+          test_broadcast_many_loss_per_message;
         Alcotest.test_case "detach" `Quick test_detach_drops_in_flight;
         Alcotest.test_case "partition" `Quick
           test_partition_blocks_cross_traffic;
