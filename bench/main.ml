@@ -1,10 +1,12 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (see DESIGN.md's experiment index), runs Bechamel
    micro-benchmarks of the building blocks, and emits a machine-readable
-   benchmark trajectory (BENCH_PR3.json, or $CTS_BENCH_JSON) so future
+   benchmark trajectory (BENCH_PR4.json, or $CTS_BENCH_JSON) so future
    PRs can diff their perf numbers against this one.  The engine and
    explorer sections also report explicit deltas against the checked-in
-   PR-2 numbers (BENCH_PR2.json) measured on the same machine.
+   PR-2/PR-3 numbers (BENCH_PR2.json / BENCH_PR3.json) measured on the
+   same machine; the OBS1 section guards PR 4's claim that compiled-in
+   but disabled probes cost nothing.
 
    Run with: dune exec bench/main.exe
    Scale the workloads down for a quick pass with CTS_BENCH_SCALE=0.01. *)
@@ -30,19 +32,25 @@ let json_fields : (string * string) list ref = ref []
 let json_add name fragment = json_fields := (name, fragment) :: !json_fields
 
 let json_path =
-  Option.value ~default:"BENCH_PR3.json" (Sys.getenv_opt "CTS_BENCH_JSON")
+  Option.value ~default:"BENCH_PR4.json" (Sys.getenv_opt "CTS_BENCH_JSON")
 
-(* PR-2 baselines (BENCH_PR2.json, this machine): the perf targets this
-   PR's zero-allocation work is measured against. *)
+(* PR-2 baselines (BENCH_PR2.json, this machine): the perf targets PR 3's
+   zero-allocation work was measured against. *)
 let baseline_pr2_engine_events_per_sec = 1_833_336.
 let baseline_pr2_jobs1_schedules_per_sec = 4026.4
+
+(* PR-3 baselines (BENCH_PR3.json, this machine): the numbers the probe
+   instrumentation must not regress.  The acceptance bar for PR 4 is
+   disabled-probe engine throughput within 5% of these. *)
+let baseline_pr3_engine_events_per_sec = 2_975_559.
+let baseline_pr3_jobs1_schedules_per_sec = 6095.4
 
 let emit_json () =
   let oc = open_out json_path in
   output_string oc "{\n";
   let fields =
     [
-      ("pr", "3");
+      ("pr", "4");
       ("scale", Printf.sprintf "%g" scale);
       ("cores_available", string_of_int (Domain.recommended_domain_count ()));
     ]
@@ -256,10 +264,12 @@ let bench_engine_events () =
       in
       let per_sec = float_of_int n /. dt in
       let speedup = per_sec /. baseline_pr2_engine_events_per_sec in
+      let vs_pr3 = per_sec /. baseline_pr3_engine_events_per_sec in
       Format.fprintf ppf
-        "%d timer events in %.3f s — %.2e events/s (%.2fx vs PR-2's %.2e; \
-         best of 5 passes)@."
-        n dt per_sec speedup baseline_pr2_engine_events_per_sec;
+        "%d timer events in %.3f s — %.2e events/s (%.2fx vs PR-2's %.2e, \
+         %.2fx vs PR-3's %.2e; best of 5 passes)@."
+        n dt per_sec speedup baseline_pr2_engine_events_per_sec vs_pr3
+        baseline_pr3_engine_events_per_sec;
       Format.fprintf ppf
         "allocation: %.1f bytes/event on the minor heap, %d minor \
          collection(s)@."
@@ -273,9 +283,121 @@ let bench_engine_events () =
         (Printf.sprintf
            "{\"events\": %d, \"events_per_sec\": %.0f, \
             \"baseline_pr2_events_per_sec\": %.0f, \"speedup_over_pr2\": \
-            %.3f, \"bytes_per_event\": %.2f, \"minor_collections\": %d}"
+            %.3f, \"baseline_pr3_events_per_sec\": %.0f, \
+            \"speedup_over_pr3\": %.3f, \"bytes_per_event\": %.2f, \
+            \"minor_collections\": %d}"
            n per_sec baseline_pr2_engine_events_per_sec speedup
-           bytes_per_event minor_collections))
+           baseline_pr3_engine_events_per_sec vs_pr3 bytes_per_event
+           minor_collections))
+
+(* OBS1: the PR-4 perf guard.  Probes are now compiled into every hot
+   path; this section measures what they cost (a) disabled — the default,
+   which must stay free: 0.0 bytes/event and throughput within 5% of the
+   PR-3 baseline — and (b) with a metrics registry attached.  Both passes
+   exclude engine construction and warm the event queue first, so the
+   steady-state loop is the only thing under the meter; the numbers are
+   reported through the registry's own section mechanism, which is also
+   how the per-event-type counters come out.
+
+   The disabled-probe check emits a distinct "PERF WARNING (obs-disabled)"
+   marker that CI greps for and turns into a hard failure. *)
+let bench_obs () =
+  section "OBS1: probe overhead — disabled (must be free) and metrics-on";
+  let n = scaled 2_000_000 in
+  Gc.compact ();
+  Dsim.Engine.with_gc_tuning (fun () ->
+      let batch = 10_000 in
+      let one_pass sink =
+        let eng = Dsim.Engine.create () in
+        (match sink with
+        | Some s -> Dsim.Engine.set_obs eng s
+        | None -> ());
+        (* Warm up outside the meter: queue growth to [batch] capacity and
+           code paging happen here, not in the measured loop. *)
+        for i = 1 to batch do
+          Dsim.Engine.schedule eng (Dsim.Time.Span.of_us (i mod 997)) ignore
+        done;
+        Dsim.Engine.run eng;
+        let t0 = Mc.Explore.wall () in
+        let w0 = Gc.minor_words () in
+        let done_ = ref 0 in
+        while !done_ < n do
+          let k = min batch (n - !done_) in
+          for i = 1 to k do
+            Dsim.Engine.schedule eng (Dsim.Time.Span.of_us (i mod 997)) ignore
+          done;
+          Dsim.Engine.run eng;
+          done_ := !done_ + k
+        done;
+        let dt = Mc.Explore.wall () -. t0 in
+        (dt, Gc.minor_words () -. w0)
+      in
+      let best5 sink =
+        let best = ref (one_pass sink) in
+        for _ = 1 to 4 do
+          let (dt, _) as r = one_pass sink in
+          if dt < fst !best then best := r
+        done;
+        !best
+      in
+      let dt_off, words_off = best5 None in
+      let metrics = Obs.Metrics.create () in
+      let sink = Obs.Sink.create () in
+      Obs.Sink.attach sink ~metrics;
+      let dt_on, words_on = best5 (Some sink) in
+      (* Report both passes through the registry the probes feed, so the
+         per-event-type accounting exercises the same exporter the CLI
+         dumps. *)
+      let s_off = Obs.Metrics.section metrics "engine-step/probes-off" in
+      Obs.Metrics.section_record s_off ~events:n ~ns:(dt_off *. 1e9)
+        ~minor_words:words_off;
+      let s_on = Obs.Metrics.section metrics "engine-step/metrics-on" in
+      Obs.Metrics.section_record s_on ~events:n ~ns:(dt_on *. 1e9)
+        ~minor_words:words_on;
+      let per_sec_off = float_of_int n /. dt_off in
+      let per_sec_on = float_of_int n /. dt_on in
+      let bytes_off = words_off *. 8. /. float_of_int n in
+      let bytes_on = words_on *. 8. /. float_of_int n in
+      let vs_pr3 = per_sec_off /. baseline_pr3_engine_events_per_sec in
+      Format.fprintf ppf
+        "probes disabled:   %.2e events/s, %.1f bytes/event (%.2fx vs \
+         PR-3's %.2e; best of 5)@."
+        per_sec_off bytes_off vs_pr3 baseline_pr3_engine_events_per_sec;
+      Format.fprintf ppf
+        "metrics attached:  %.2e events/s, %.1f bytes/event (%.1f%% \
+         slower than disabled)@."
+        per_sec_on bytes_on
+        (100. *. ((dt_on /. dt_off) -. 1.));
+      Format.fprintf ppf
+        "registry counted %d engine event(s) during the metrics-on runs@."
+        (Obs.Metrics.get metrics Obs.Metrics.Engine_events);
+      if bytes_off > 0.05 then
+        Format.fprintf ppf
+          "PERF WARNING (obs-disabled): disabled probes allocate %.2f \
+           bytes/event on the engine hot path (must be 0.0)@."
+          bytes_off;
+      (* The allocation gate above is deterministic at any scale.  The
+         throughput gate is 5% at full scale (the acceptance bar) but
+         relaxed to 20% on scaled-down runs, whose short passes sit
+         inside the box's load noise. *)
+      let tolerance = if scale >= 1. then 0.95 else 0.80 in
+      if vs_pr3 < tolerance then
+        Format.fprintf ppf
+          "PERF WARNING (obs-disabled): engine throughput with disabled \
+           probes is %.2e events/s, more than %.0f%% below the PR-3 \
+           baseline %.2e@."
+          per_sec_off
+          (100. *. (1. -. tolerance))
+          baseline_pr3_engine_events_per_sec;
+      json_add "obs_overhead"
+        (Printf.sprintf
+           "{\"events\": %d, \"disabled_events_per_sec\": %.0f, \
+            \"disabled_bytes_per_event\": %.2f, \
+            \"disabled_vs_pr3\": %.3f, \"metrics_events_per_sec\": %.0f, \
+            \"metrics_bytes_per_event\": %.2f, \
+            \"metrics_overhead_pct\": %.1f}"
+           n per_sec_off bytes_off vs_pr3 per_sec_on bytes_on
+           (100. *. ((dt_on /. dt_off) -. 1.))))
 
 (* Multicore exploration scaling: the same random-walk exploration
    ([ctsim explore --strategy random]) at 1/2/4/8 worker domains.
@@ -333,6 +455,10 @@ let bench_mc_scaling () =
     "single-domain vs PR-2 baseline (%.1f schedules/s): %.2fx@."
     baseline_pr2_jobs1_schedules_per_sec
     (base /. baseline_pr2_jobs1_schedules_per_sec);
+  Format.fprintf ppf
+    "single-domain vs PR-3 baseline (%.1f schedules/s): %.2fx@."
+    baseline_pr3_jobs1_schedules_per_sec
+    (base /. baseline_pr3_jobs1_schedules_per_sec);
   let speedup4 =
     match List.find_opt (fun (j, _, _, _) -> j = 4) rows with
     | Some (_, s, _, _) -> s /. base
@@ -342,11 +468,13 @@ let bench_mc_scaling () =
     (Printf.sprintf
        "{\"strategy\": \"random\", \"rounds\": 12, \"budget\": %d, \
         \"baseline_pr1_schedules_per_sec\": %.1f, \
-        \"baseline_pr2_schedules_per_sec\": %.1f, \"jobs\": [%s], \
+        \"baseline_pr2_schedules_per_sec\": %.1f, \
+        \"baseline_pr3_schedules_per_sec\": %.1f, \"jobs\": [%s], \
         \"speedup_1_over_baseline\": %.2f, \"speedup_1_over_pr2\": %.2f, \
-        \"speedup_4_over_1\": %.2f}"
+        \"speedup_1_over_pr3\": %.2f, \"speedup_4_over_1\": %.2f}"
        budget baseline_pr1_schedules_per_sec
        baseline_pr2_jobs1_schedules_per_sec
+       baseline_pr3_jobs1_schedules_per_sec
        (String.concat ", "
           (List.map
              (fun (jobs, sps, wall, cpu) ->
@@ -357,6 +485,7 @@ let bench_mc_scaling () =
              rows))
        (base /. baseline_pr1_schedules_per_sec)
        (base /. baseline_pr2_jobs1_schedules_per_sec)
+       (base /. baseline_pr3_jobs1_schedules_per_sec)
        speedup4)
 
 (* ------------------------------------------------------------------ *)
@@ -471,6 +600,7 @@ let () =
   bench_delivery_mode ();
   bench_mc ();
   bench_engine_events ();
+  bench_obs ();
   bench_mc_scaling ();
   run_micro ();
   emit_json ();

@@ -170,6 +170,112 @@ let causal_cmd =
          "Causal group-clock timestamps across two replicated groups           (section 5's proposed extension)")
     Term.(const run $ seed)
 
+let run_cmd =
+  let trace_file =
+    let doc =
+      "Write the run's span trace to $(docv) in Chrome trace-event JSON \
+       (load it in Perfetto or chrome://tracing; ts is simulated \
+       microseconds, one process row per node, one thread row per \
+       subsystem)."
+    in
+    Arg.(value & opt string "trace.json" & info [ "trace"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_file =
+    let doc = "Also write the metrics-registry snapshot as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let steps =
+    let doc =
+      "Record one instant event per engine callback too (per-step \
+       engine rows; traces get very large)."
+    in
+    Arg.(value & flag & info [ "steps" ] ~doc)
+  in
+  let capacity =
+    let doc = "Trace buffer capacity in events; the excess is counted, not kept." in
+    Arg.(value & opt int 1_000_000 & info [ "trace-capacity" ] ~docv:"N" ~doc)
+  in
+  let run seed replicas rounds trace_file metrics_file steps capacity =
+    let trace = Obs.Trace.create ~capacity () in
+    let metrics = Obs.Metrics.create () in
+    let sink = Obs.Sink.create () in
+    Obs.Sink.attach sink ~trace ~metrics;
+    Obs.Sink.set_trace_steps sink steps;
+    let (_ : E.skew_run) =
+      E.skew ~seed:(seed64 seed) ~rounds ~replicas ~obs:sink ()
+    in
+    (* Node 0 hosts the client; experiment replica [k] is node [k+1]. *)
+    let process_name pid =
+      if pid = 0 then "client (node 0)"
+      else Printf.sprintf "replica %d (node %d)" (pid - 1) pid
+    in
+    Obs.Trace.write_chrome_file ~process_name trace trace_file;
+    (match metrics_file with
+    | Some f ->
+        Out_channel.with_open_text f (fun oc ->
+            output_string oc (Obs.Metrics.to_json metrics);
+            output_char oc '\n')
+    | None -> ());
+    let subs =
+      String.concat ", "
+        (List.map Obs.Subsystem.name (Obs.Trace.subsystems trace))
+    in
+    Format.fprintf ppf "wrote %s: %d event(s) across %d subsystem(s): %s@."
+      trace_file (Obs.Trace.length trace)
+      (List.length (Obs.Trace.subsystems trace))
+      subs;
+    if Obs.Trace.dropped trace > 0 then
+      Format.fprintf ppf
+        "warning: %d event(s) dropped at capacity %d (raise \
+         --trace-capacity)@."
+        (Obs.Trace.dropped trace) capacity;
+    let c k = Obs.Metrics.get metrics k in
+    Format.fprintf ppf
+      "ccs: %d round(s), %d win(s), %d suppressed, %d discard(s)@."
+      (c Obs.Metrics.Ccs_rounds) (c Obs.Metrics.Ccs_wins)
+      (c Obs.Metrics.Ccs_suppressed)
+      (c Obs.Metrics.Ccs_discards);
+    Format.fprintf ppf "net: %d sent, %d delivered, %d dropped@."
+      (c Obs.Metrics.Net_sent)
+      (c Obs.Metrics.Net_delivered)
+      (c Obs.Metrics.Net_dropped);
+    match metrics_file with
+    | Some f -> Format.fprintf ppf "wrote %s@." f
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run the clock-sequence experiment with the observability sink \
+          attached and dump a Perfetto-loadable trace plus a metrics \
+          snapshot")
+    Term.(
+      const run $ seed $ replicas $ rounds_arg 200 $ trace_file
+      $ metrics_file $ steps $ capacity)
+
+let trace_check_cmd =
+  let file =
+    let doc = "Chrome trace-event JSON file to validate." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    match Obs.Trace.validate_file file with
+    | Ok s ->
+        Format.fprintf ppf
+          "%s: OK — %d event(s), %d process(es), subsystems: %s@." file
+          s.Obs.Trace.v_events s.Obs.Trace.v_pids
+          (String.concat ", " s.Obs.Trace.v_subsystems)
+    | Error e ->
+        Format.eprintf "%s: INVALID — %s@." file e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate an emitted trace: well-formed JSON, the trace-event \
+          schema, and per-thread timestamp monotonicity")
+    Term.(const run $ file)
+
 let explore_cmd =
   let strategy =
     let doc = "Exploration strategy: $(b,random) or $(b,bounded)." in
@@ -210,8 +316,16 @@ let explore_cmd =
     in
     Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
+  let trace_out =
+    let doc =
+      "On a violation, replay the shrunk counterexample with the \
+       observability sink attached and write its full span trace to \
+       $(docv) (Chrome trace-event JSON, next to the packet log)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
   let run seed replicas strategy budget depth rounds crash quantum_us
-      delay_prob reorder_prob keep_going jobs =
+      delay_prob reorder_prob keep_going jobs trace_out =
     let strategy =
       match Mc.Strategy.of_string strategy with
       | Some (Mc.Strategy.Random _) ->
@@ -256,6 +370,21 @@ let explore_cmd =
         ~stop_at_first:(not keep_going) ~jobs cfg
     in
     Format.fprintf ppf "%a@." Mc.Explore.pp_report report;
+    (match (report.Mc.Explore.violations, trace_out) with
+    | v :: _, Some file ->
+        let trace, _metrics =
+          Mc.Explore.trace_violation ~quantum_us cfg v
+        in
+        (* In the model-check harness every node runs a replica. *)
+        let process_name pid = Printf.sprintf "replica %d" pid in
+        Obs.Trace.write_chrome_file ~process_name trace file;
+        Format.fprintf ppf
+          "wrote %s: span trace of the minimal counterexample (%d \
+           event(s))@."
+          file (Obs.Trace.length trace)
+    | [], Some _ ->
+        Format.fprintf ppf "no violation, no counterexample trace written@."
+    | _, None -> ());
     if report.Mc.Explore.violations <> [] then exit 1
   in
   Cmd.v
@@ -267,7 +396,8 @@ let explore_cmd =
           after each")
     Term.(
       const run $ seed $ replicas $ strategy $ budget $ depth $ rounds_arg 12
-      $ crash $ quantum_us $ delay_prob $ reorder_prob $ keep_going $ jobs)
+      $ crash $ quantum_us $ delay_prob $ reorder_prob $ keep_going $ jobs
+      $ trace_out)
 
 let main =
   Cmd.group
@@ -286,6 +416,8 @@ let main =
       recovery_cmd;
       causal_cmd;
       explore_cmd;
+      run_cmd;
+      trace_check_cmd;
     ]
 
 let () = exit (Cmd.eval main)

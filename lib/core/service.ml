@@ -152,6 +152,20 @@ let find_handler t key =
           r
       | None -> None)
 
+(* Obs probe: a CCS send suppressed by duplicate detection (token-level
+   or handler-level).  [round < 0] when the round is not known at the
+   suppression site. *)
+let probe_suppress t round =
+  let s = Dsim.Engine.obs t.eng in
+  if s.Obs.Sink.active then begin
+    Obs.Sink.count s Obs.Metrics.Ccs_suppressed;
+    Obs.Sink.instant s
+      ~ts_ns:(Time.to_ns (Dsim.Engine.now t.eng))
+      ~pid:(Netsim.Node_id.to_int (me t))
+      ~sub:Obs.Subsystem.Ccs ~name:"ccs-suppress"
+      ~args:(if round >= 0 then [ ("round", round) ] else [])
+  end
+
 let send_ccs t payload =
   if may_send t then begin
     t.s_sent <- t.s_sent + 1;
@@ -166,14 +180,18 @@ let send_ccs t payload =
       in
       if stale then begin
         t.s_sent <- t.s_sent - 1;
-        t.s_suppressed <- t.s_suppressed + 1
+        t.s_suppressed <- t.s_suppressed + 1;
+        probe_suppress t payload.Ccs_msg.round
       end;
       stale
     in
     Gcs.Endpoint.multicast ~unless t.endpoint
       (Ccs_msg.make ~group:t.group payload)
   end
-  else t.s_suppressed <- t.s_suppressed + 1
+  else begin
+    t.s_suppressed <- t.s_suppressed + 1;
+    probe_suppress t payload.Ccs_msg.round
+  end
 
 let handler_for t thread =
   let key = Thread_id.to_int thread in
@@ -182,7 +200,9 @@ let handler_for t thread =
   | None ->
       let h =
         Ccs_handler.create t.eng ~thread ~send:(send_ccs t)
-          ~on_suppress:(fun () -> t.s_suppressed <- t.s_suppressed + 1)
+          ~on_suppress:(fun () ->
+            t.s_suppressed <- t.s_suppressed + 1;
+            probe_suppress t (-1))
           ()
       in
       Hashtbl.replace t.handlers key h;
@@ -231,7 +251,19 @@ let on_message t (msg : Gcs.Msg.t) =
       else
         let key = Thread_id.to_int p.thread in
         match find_handler t key with
-        | Some h -> Ccs_handler.recv h p
+        | Some h ->
+            (* A message for an already-settled round lost the race (or is
+               a duplicate); [recv] discards it — record that. *)
+            (let s = Dsim.Engine.obs t.eng in
+             if s.Obs.Sink.active && Ccs_handler.round_settled h p.round then begin
+               Obs.Sink.count s Obs.Metrics.Ccs_discards;
+               Obs.Sink.instant s
+                 ~ts_ns:(Time.to_ns (Dsim.Engine.now t.eng))
+                 ~pid:(Netsim.Node_id.to_int (me t))
+                 ~sub:Obs.Subsystem.Ccs ~name:"ccs-discard"
+                 ~args:[ ("round", p.round) ]
+             end);
+            Ccs_handler.recv h p
         | None ->
             let q =
               match Hashtbl.find_opt t.common_buffer key with
@@ -299,10 +331,48 @@ let clock_read t ~thread ~call =
     | Some _ | None -> local
   in
   let h = handler_for t thread in
+  (* CCS round span: Begin when the round opens (before blocking on the
+     group), End when the winning synchronizer's message settles it.
+     Rounds on one (replica, thread) are strictly sequential, so the
+     spans nest trivially in the per-replica ccs thread row. *)
+  (let s = Dsim.Engine.obs t.eng in
+   if s.Obs.Sink.active then begin
+     Obs.Sink.count s Obs.Metrics.Ccs_rounds;
+     Obs.Sink.span_begin s
+       ~ts_ns:(Time.to_ns (Dsim.Engine.now t.eng))
+       ~pid:(Netsim.Node_id.to_int (me t))
+       ~sub:Obs.Subsystem.Ccs ~name:"ccs-round"
+       ~args:
+         [
+           ("round", Ccs_handler.round h + 1);
+           ("thread", Thread_id.to_int thread);
+         ]
+   end);
+  let old_offset = t.offset in
   let winner = Ccs_handler.get_grp_clock_time h ~proposal:local ~call in
   let gc = winner.Ccs_msg.proposal in
   if t.cfg.offset_tracking then
     t.offset <- Drift.adjust_offset t.cfg.drift (Time.diff gc pc);
+  (let s = Dsim.Engine.obs t.eng in
+   if s.Obs.Sink.active then begin
+     Obs.Sink.count s Obs.Metrics.Ccs_wins;
+     let adj_ns = Span.to_ns t.offset - Span.to_ns old_offset in
+     if t.cfg.offset_tracking then begin
+       Obs.Sink.count s Obs.Metrics.Ccs_offset_updates;
+       Obs.Sink.observe s Obs.Metrics.Ccs_adjustment_us
+         (float_of_int adj_ns /. 1000.)
+     end;
+     Obs.Sink.span_end s
+       ~ts_ns:(Time.to_ns (Dsim.Engine.now t.eng))
+       ~pid:(Netsim.Node_id.to_int (me t))
+       ~sub:Obs.Subsystem.Ccs ~name:"ccs-round"
+       ~args:
+         [
+           ("round", winner.Ccs_msg.round);
+           ("adjustment_us", adj_ns / 1000);
+           ("offset_us", Span.to_us t.offset);
+         ]
+   end);
   (* Monotonicity accounting uses the raw group clock: coarse call types
      (time() truncates to seconds) would otherwise look like roll-backs. *)
   record_reading t ~thread gc;

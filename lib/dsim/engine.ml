@@ -24,6 +24,7 @@ type t = {
   mutable scheduler : (ready:int -> choice) option;
   nil_cell : cell;
   mutable free_cells : cell;
+  mutable obs : Obs.Sink.t;
 }
 
 let obj_ignore (_ : Obj.t) = ()
@@ -45,11 +46,30 @@ let create ?(seed = 1L) () =
     scheduler = None;
     nil_cell;
     free_cells = nil_cell;
+    obs = Obs.Sink.inactive ();
   }
 
 let now t = t.now
 let rng t = t.rng
+let obs t = t.obs
+let set_obs t s = t.obs <- s
 let set_scheduler t s = t.scheduler <- s
+
+(* Per-callback probe.  The common (disabled) case is one field load and
+   one predictable branch; the counter bump and the optional per-step
+   instant stay out of line behind the [active] check, so the inlined
+   disabled path adds nothing else to the call sites. *)
+let probe_step_active s at =
+  Obs.Sink.count s Obs.Metrics.Engine_events;
+  if s.Obs.Sink.trace_steps then
+    Obs.Sink.instant s ~ts_ns:(Time.to_ns at) ~pid:0 ~sub:Obs.Subsystem.Dsim
+      ~name:"step" ~args:[]
+[@@inline never]
+
+let probe_step t at =
+  let s = t.obs in
+  if s.Obs.Sink.active then probe_step_active s at
+[@@inline]
 
 let schedule_at t at f =
   if Time.(at < t.now) then
@@ -110,6 +130,7 @@ let run_event t = function
   | None -> false
   | Some (at, f) ->
       t.now <- at;
+      probe_step t at;
       f ();
       true
 
@@ -122,6 +143,7 @@ let step t =
         let at = Event_queue.min_time_exn t.queue in
         let f = Event_queue.pop_min_exn t.queue in
         t.now <- at;
+        probe_step t at;
         f ();
         true
       end
@@ -136,6 +158,7 @@ let step t =
               let at = Event_queue.min_time_exn t.queue in
               let f = Event_queue.pop_min_exn t.queue in
               t.now <- at;
+              probe_step t at;
               f ();
               true
           | Take i -> run_event t (Event_queue.pop_nth t.queue i)
@@ -165,8 +188,11 @@ let run_plain t ~horizon budget =
       while
         (not t.stopped) && !n > 0 && not (Event_queue.is_empty t.queue)
       do
-        t.now <- Event_queue.min_time_exn t.queue;
-        (Event_queue.pop_min_exn t.queue) ();
+        let at = Event_queue.min_time_exn t.queue in
+        let f = Event_queue.pop_min_exn t.queue in
+        t.now <- at;
+        probe_step t at;
+        f ();
         decr n
       done;
       budget := !n
@@ -181,6 +207,7 @@ let run_plain t ~horizon budget =
           else begin
             let f = Event_queue.pop_min_exn t.queue in
             t.now <- at;
+            probe_step t at;
             f ();
             decr budget
           end

@@ -24,6 +24,18 @@ val rng : t -> Rng.t
 (** The engine's root random stream.  Components should {!Rng.split} their
     own stream from it at construction time. *)
 
+val obs : t -> Obs.Sink.t
+(** The engine's observability sink — inactive (and therefore free apart
+    from one load + branch per probe) until a trace or metrics registry
+    is attached with {!Obs.Sink.attach}.  Every instrumented layer reads
+    the sink through its engine at each probe site rather than caching
+    it, so attaching after construction (or after [Mc.Harness] rebuilds a
+    marshalled world) takes effect immediately. *)
+
+val set_obs : t -> Obs.Sink.t -> unit
+(** Adopt an externally owned sink (used by the scenario harness and the
+    model checker to share one sink across a rebuilt world). *)
+
 val schedule_at : t -> Time.t -> (unit -> unit) -> unit
 (** [schedule_at t at f] runs [f] when the virtual clock reaches [at].
     Raises [Invalid_argument] if [at] is in the past. *)

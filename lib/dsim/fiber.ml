@@ -36,6 +36,21 @@ let with_id id f =
       current := prev;
       raise e
 
+(* Fiber probes live inside closures that already exist (the resume
+   thunk and the spawn thunk), so the disabled path adds nothing beyond
+   the sink's load + branch; [eng] was already captured. *)
+let probe_fiber eng ~start id =
+  let s = Engine.obs eng in
+  if s.Obs.Sink.active then begin
+    Obs.Sink.count s
+      (if start then Obs.Metrics.Fiber_spawns else Obs.Metrics.Fiber_switches);
+    Obs.Sink.instant s
+      ~ts_ns:(Time.to_ns (Engine.now eng))
+      ~pid:0 ~sub:Obs.Subsystem.Dsim
+      ~name:(if start then "fiber-start" else "fiber-resume")
+      ~args:[ ("fiber", id) ]
+  end
+
 let spawn eng f =
   let open Effect.Deep in
   let id = fresh_id () in
@@ -53,6 +68,7 @@ let spawn eng f =
                       invalid_arg "Fiber: resume called twice"
                     else begin
                       resumed := true;
+                      probe_fiber eng ~start:false id;
                       with_id id (fun () -> continue k ())
                     end
                   in
@@ -61,6 +77,7 @@ let spawn eng f =
     }
   in
   Engine.schedule eng Time.Span.zero (fun () ->
+      probe_fiber eng ~start:true id;
       with_id id (fun () -> try_with f () handler))
 
 let suspend register =

@@ -64,13 +64,30 @@ let view_of t group =
               primary = t.primary;
             })
 
+let probe_view t view =
+  let s = Dsim.Engine.obs t.eng in
+  if s.Obs.Sink.active then begin
+    Obs.Sink.count s Obs.Metrics.Gcs_views;
+    Obs.Sink.instant s
+      ~ts_ns:(Dsim.Time.to_ns (Dsim.Engine.now t.eng))
+      ~pid:(Nid.to_int t.me) ~sub:Obs.Subsystem.Gcs ~name:"view-change"
+      ~args:
+        [
+          ("members", List.length view.View.members);
+          ("primary", if view.View.primary then 1 else 0);
+        ]
+  end
+
 let notify_group t group =
   match (Hashtbl.find_opt t.subs group, view_of t group) with
-  | Some sub, Some view -> sub.handler (View_change view)
+  | Some sub, Some view ->
+      probe_view t view;
+      sub.handler (View_change view)
   | Some sub, None ->
       (* The group lost all members (e.g. pruned by a partition). *)
-      sub.handler
-        (View_change { View.group; members = []; primary = t.primary })
+      let view = { View.group; members = []; primary = t.primary } in
+      probe_view t view;
+      sub.handler (View_change view)
   | None, _ -> ()
 
 let apply_op t op =

@@ -69,6 +69,29 @@ let build_violation ~quantum cfg ~seed ~first_invariant ~deviations =
     packet_log = final_outcome.Invariant.packet_log;
   }
 
+(* Replay the minimal counterexample once more with an obs sink adopted:
+   the full span trace of the shrunk schedule, to sit next to its packet
+   log.  Deterministic — the replayed spec pins the schedule, and probes
+   never perturb a run. *)
+let trace_violation ?(quantum_us = 200) ?capacity cfg (v : violation) =
+  let quantum = Span.of_us quantum_us in
+  let trace = Obs.Trace.create ?capacity () in
+  let metrics = Obs.Metrics.create () in
+  let sink = Obs.Sink.create () in
+  Obs.Sink.attach sink ~trace ~metrics;
+  let cfg =
+    {
+      cfg with
+      Harness.seed = v.seed;
+      record_packets = false;
+      sink = Some sink;
+    }
+  in
+  let (_ : Invariant.outcome * Harness.info) =
+    Harness.run ~spec:(Controller.replay_spec ~quantum v.counterexample) cfg
+  in
+  (trace, metrics)
+
 let explore ?(strategy = Strategy.default_random) ?(budget = 500)
     ?(quantum_us = 200) ?(stop_at_first = true) cfg =
   let quantum = Span.of_us quantum_us in

@@ -67,5 +67,18 @@ val build_violation :
     on the calling domain, in schedule order, so its reports do not
     depend on domain count. *)
 
+val trace_violation :
+  ?quantum_us:int ->
+  ?capacity:int ->
+  Harness.config ->
+  violation ->
+  Obs.Trace.t * Obs.Metrics.t
+(** Replay the violation's minimal counterexample once more with an
+    observability sink adopted by the replayed world, returning the full
+    span trace and metrics of the failing schedule — the cross-layer
+    companion to its [packet_log].  [quantum_us] must match the value
+    the violation was explored with (default 200).  Probes never perturb
+    a run, so the replay still reproduces the violation. *)
+
 val pp_violation : Format.formatter -> violation -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -16,6 +16,7 @@ type config = {
   crash_at_round : int option;
   bug : bug option;
   record_packets : bool;
+  sink : Obs.Sink.t option;
 }
 
 let default =
@@ -31,6 +32,7 @@ let default =
     crash_at_round = None;
     bug = None;
     record_packets = false;
+    sink = None;
   }
 
 type info = {
@@ -109,6 +111,11 @@ let measure ((cluster, services) : world) ~spec cfg =
   if cfg.rounds < 1 then invalid_arg "Mc.Harness.run: need >= 1 round";
   let eng = cluster.Cluster.eng in
   let net = cluster.Cluster.net in
+  (* Adopt an external obs sink on this world's engine (worlds rebuilt or
+     unmarshalled by the reuse path get a fresh engine each time, so the
+     sink must be re-adopted per measurement).  Exploration leaves this
+     [None]; it is used to dump the span trace of a counterexample. *)
+  (match cfg.sink with Some s -> Dsim.Engine.set_obs eng s | None -> ());
   let tracer =
     if cfg.record_packets then begin
       let tr = Netsim.Trace.create ~capacity:256 () in

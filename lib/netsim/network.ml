@@ -157,13 +157,61 @@ let attached t id = port_of t id <> None
 let nodes t = t.members
 
 (* Call sites guard with [tracing] so the trace event (a boxed record per
-   packet) is never even constructed when no tracer is attached. *)
-let tracing t = t.tracer <> None
+   packet) is never even constructed when neither the legacy [Trace.t]
+   tracer nor the engine's obs sink is active — the single-check gating
+   discipline the whole stack now follows. *)
+let tracing t =
+  t.tracer != None || (Dsim.Engine.obs t.eng).Obs.Sink.active
 
-let trace_event t ev =
-  match t.tracer with
+let reason_code = function
+  | Trace.Loss -> 0
+  | Trace.Partitioned -> 1
+  | Trace.No_port -> 2
+
+(* Unified emission: the bounded packet trace keeps its historical format
+   (tests and [Mc.Explore.packet_log] read it unchanged) while the same
+   event also reaches the obs sink as netsim instants + counters.  [pos]
+   tags a batched delivery with its position inside the batch (-1 =
+   unbatched), so every message a batch absorbs still gets one record of
+   its own — per-message drop accounting stays exact. *)
+let trace_event ?(pos = -1) t ev =
+  (match t.tracer with
   | Some tr -> Trace.record tr ~at:(Dsim.Engine.now t.eng) ev
-  | None -> ()
+  | None -> ());
+  let s = Dsim.Engine.obs t.eng in
+  if s.Obs.Sink.active then begin
+    let ts_ns = Dsim.Time.to_ns (Dsim.Engine.now t.eng) in
+    match ev with
+    | Trace.Sent { src; dst; _ } ->
+        Obs.Sink.count s Obs.Metrics.Net_sent;
+        Obs.Sink.instant s ~ts_ns ~pid:(Node_id.to_int src)
+          ~sub:Obs.Subsystem.Netsim ~name:"send"
+          ~args:
+            (match dst with
+            | Some d -> [ ("dst", Node_id.to_int d) ]
+            | None -> [])
+    | Trace.Delivered { src; dst; _ } ->
+        Obs.Sink.count s Obs.Metrics.Net_delivered;
+        let args =
+          if pos >= 0 then [ ("src", Node_id.to_int src); ("batch_pos", pos) ]
+          else [ ("src", Node_id.to_int src) ]
+        in
+        Obs.Sink.instant s ~ts_ns ~pid:(Node_id.to_int dst)
+          ~sub:Obs.Subsystem.Netsim ~name:"deliver" ~args
+    | Trace.Dropped { src; dst; reason; _ } ->
+        Obs.Sink.count s Obs.Metrics.Net_dropped;
+        let args =
+          if pos >= 0 then
+            [
+              ("src", Node_id.to_int src);
+              ("reason", reason_code reason);
+              ("batch_pos", pos);
+            ]
+          else [ ("src", Node_id.to_int src); ("reason", reason_code reason) ]
+        in
+        Obs.Sink.instant s ~ts_ns ~pid:(Node_id.to_int dst)
+          ~sub:Obs.Subsystem.Netsim ~name:"drop" ~args
+  end
 
 let bump_sent t id =
   ensure_node t id;
@@ -347,15 +395,19 @@ let bcell_fire (b : 'a bcell) =
   let n = b.b_n in
   for i = 0 to n - 1 do
     let payload : 'a = Obj.obj (Array.unsafe_get b.b_payloads i) in
+    (* Re-checked per message, and recorded per message: a handler that
+       detaches the destination mid-batch turns exactly the remaining
+       messages into [No_port] drops, each with its own record. *)
     match port_of t dst with
     | None ->
         t.dropped <- t.dropped + 1;
         if tracing t then
-          trace_event t
+          trace_event ~pos:i t
             (Trace.Dropped { src; dst; payload; reason = Trace.No_port })
     | Some port ->
         bump_delivered t dst;
-        if tracing t then trace_event t (Trace.Delivered { src; dst; payload });
+        if tracing t then
+          trace_event ~pos:i t (Trace.Delivered { src; dst; payload });
         port.handler ~src payload
   done;
   for i = 0 to n - 1 do

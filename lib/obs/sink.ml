@@ -1,0 +1,47 @@
+type t = {
+  mutable active : bool;
+  mutable trace : Trace.t option;
+  mutable metrics : Metrics.t option;
+  mutable trace_steps : bool;
+}
+
+let inactive () =
+  { active = false; trace = None; metrics = None; trace_steps = false }
+
+let create = inactive
+
+let refresh t = t.active <- t.trace <> None || t.metrics <> None
+
+let attach ?trace ?metrics t =
+  (match trace with Some _ -> t.trace <- trace | None -> ());
+  (match metrics with Some _ -> t.metrics <- metrics | None -> ());
+  refresh t
+
+let detach t =
+  t.trace <- None;
+  t.metrics <- None;
+  t.active <- false
+
+let is_active t = t.active
+let trace t = t.trace
+let metrics t = t.metrics
+let set_trace_steps t v = t.trace_steps <- v
+
+let event t ~ph ~ts_ns ~pid ~sub ~name ~args =
+  match t.trace with
+  | Some tr -> Trace.record tr ~ph ~ts_ns ~pid ~sub ~name ~args
+  | None -> ()
+
+let span_begin t ~ts_ns ~pid ~sub ~name ~args =
+  event t ~ph:Trace.Begin ~ts_ns ~pid ~sub ~name ~args
+
+let span_end t ~ts_ns ~pid ~sub ~name ~args =
+  event t ~ph:Trace.End ~ts_ns ~pid ~sub ~name ~args
+
+let instant t ~ts_ns ~pid ~sub ~name ~args =
+  event t ~ph:Trace.Instant ~ts_ns ~pid ~sub ~name ~args
+
+let count t k = match t.metrics with Some m -> Metrics.incr m k | None -> ()
+
+let observe t hk v =
+  match t.metrics with Some m -> Metrics.observe m hk v | None -> ()

@@ -1,0 +1,69 @@
+(** The single gate every probe site checks.
+
+    A sink is owned by the simulation engine ([Dsim.Engine.obs]) and is
+    {e inactive} by default: [active] is false, nothing is attached, and
+    a probe site costs one field load and one predictable branch — the
+    discipline that keeps PR 3's zero-allocation hot path intact with
+    probes compiled in.  The contract at every site is:
+
+    {[
+      let s = Dsim.Engine.obs eng in
+      if s.Obs.Sink.active then
+        (* construct args / record events — boxing allowed here *)
+    ]}
+
+    i.e. nothing observable is even constructed unless the single
+    [active] check passes (the pattern proven by [Netsim.Network]'s
+    tracer-gated trace construction, which now routes through here).
+
+    The record is plain data — no closures — so an engine carrying a
+    sink (attached or not) still marshals, which [Mc.Harness]'s
+    world-reuse path requires.  Components must read the sink through
+    the engine at each probe rather than caching it at construction
+    time, so a sink attached after world (re)build is still seen. *)
+
+type t = {
+  mutable active : bool;  (** true iff a trace or metrics is attached *)
+  mutable trace : Trace.t option;
+  mutable metrics : Metrics.t option;
+  mutable trace_steps : bool;
+      (** also emit one instant event per engine callback (very hot;
+          off by default even when tracing) *)
+}
+
+val inactive : unit -> t
+val create : unit -> t
+(** Alias of {!inactive}. *)
+
+val attach : ?trace:Trace.t -> ?metrics:Metrics.t -> t -> unit
+(** Attach the given consumers (leaving absent ones as they are) and
+    recompute [active]. *)
+
+val detach : t -> unit
+val is_active : t -> bool
+val trace : t -> Trace.t option
+val metrics : t -> Metrics.t option
+val set_trace_steps : t -> bool -> unit
+
+(** Emit helpers.  Callers are expected to have checked [active]; the
+    helpers still match on the individual consumers, so e.g. a
+    metrics-only sink records counters and skips trace events. *)
+
+val event :
+  t -> ph:Trace.phase -> ts_ns:int -> pid:int -> sub:Subsystem.t ->
+  name:string -> args:(string * int) list -> unit
+
+val span_begin :
+  t -> ts_ns:int -> pid:int -> sub:Subsystem.t -> name:string ->
+  args:(string * int) list -> unit
+
+val span_end :
+  t -> ts_ns:int -> pid:int -> sub:Subsystem.t -> name:string ->
+  args:(string * int) list -> unit
+
+val instant :
+  t -> ts_ns:int -> pid:int -> sub:Subsystem.t -> name:string ->
+  args:(string * int) list -> unit
+
+val count : t -> Metrics.key -> unit
+val observe : t -> Metrics.hkey -> float -> unit

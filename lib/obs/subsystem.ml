@@ -1,0 +1,24 @@
+type t = Dsim | Netsim | Totem | Gcs | Ccs | Repl | Rpc
+
+let count = 7
+
+let to_int = function
+  | Dsim -> 0
+  | Netsim -> 1
+  | Totem -> 2
+  | Gcs -> 3
+  | Ccs -> 4
+  | Repl -> 5
+  | Rpc -> 6
+
+let name = function
+  | Dsim -> "dsim"
+  | Netsim -> "netsim"
+  | Totem -> "totem"
+  | Gcs -> "gcs"
+  | Ccs -> "ccs"
+  | Repl -> "repl"
+  | Rpc -> "rpc"
+
+let all = [ Dsim; Netsim; Totem; Gcs; Ccs; Repl; Rpc ]
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,19 @@
+(** The fixed set of instrumented layers.
+
+    Every trace event and most metrics carry one of these tags; in the
+    Chrome trace export a subsystem becomes the [tid] (one named thread
+    row per subsystem under each replica's process). *)
+
+type t = Dsim | Netsim | Totem | Gcs | Ccs | Repl | Rpc
+
+val count : int
+(** Number of subsystems; [to_int] is a bijection into [0 .. count-1]. *)
+
+val to_int : t -> int
+(** Stable small-int encoding, used as the Chrome [tid]. *)
+
+val name : t -> string
+(** Lower-case label, e.g. ["totem"]; used as the thread name. *)
+
+val all : t list
+val pp : Format.formatter -> t -> unit

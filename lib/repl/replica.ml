@@ -99,6 +99,14 @@ let may_send_state t =
 (* Processing thread                                                   *)
 
 let take_checkpoint t : Checkpoint.t =
+  (let s = Dsim.Engine.obs t.eng in
+   if s.Obs.Sink.active then begin
+     Obs.Sink.count s Obs.Metrics.Repl_checkpoints;
+     Obs.Sink.instant s
+       ~ts_ns:(Dsim.Time.to_ns (Dsim.Engine.now t.eng))
+       ~pid:(Nid.to_int (me t)) ~sub:Obs.Subsystem.Repl ~name:"checkpoint"
+       ~args:[ ("upto", t.processed) ]
+   end);
   {
     upto = t.processed;
     app_state = t.app.snapshot ();
@@ -139,6 +147,14 @@ let process_req t ~(header : Gcs.Msg.header) ~op ~arg ~ts ~index =
             t.app.handle ~thread:main_thread ~op ~arg)
       in
       t.processed <- index;
+      (let s = Dsim.Engine.obs t.eng in
+       if s.Obs.Sink.active then begin
+         Obs.Sink.count s Obs.Metrics.Repl_requests;
+         Obs.Sink.instant s
+           ~ts_ns:(Dsim.Time.to_ns (Dsim.Engine.now t.eng))
+           ~pid:(Nid.to_int (me t)) ~sub:Obs.Subsystem.Repl ~name:"request"
+           ~args:[ ("index", index) ]
+       end);
       Hashtbl.replace t.reply_cache conn (header.msg_seq, result);
       send_reply result;
       maybe_periodic_checkpoint t
@@ -209,6 +225,12 @@ let apply_state t ~(for_node : Nid.t) (c : Checkpoint.t) =
     t.delivered_reqs <- c.upto;
     t.processed <- c.upto;
     t.recovered <- true;
+    (let s = Dsim.Engine.obs t.eng in
+     if s.Obs.Sink.active then
+       Obs.Sink.instant s
+         ~ts_ns:(Dsim.Time.to_ns (Dsim.Engine.now t.eng))
+         ~pid:(Nid.to_int (me t)) ~sub:Obs.Subsystem.Repl
+         ~name:"state-applied" ~args:[ ("upto", c.upto) ]);
     Log.debug (fun m ->
         m "%a: state applied (upto=%d), processing resumes" Nid.pp (me t)
           c.upto);

@@ -12,9 +12,12 @@ type t = {
   client_group : Gcs.Group_id.t;
 }
 
-let create ?(seed = 1L) ?latency ?totem_config ?clock_config ?bootstrap ~nodes
-    () =
+let create ?(seed = 1L) ?latency ?totem_config ?clock_config ?bootstrap ?obs
+    ~nodes () =
   let eng = Dsim.Engine.create ~seed () in
+  (* Adopt an external observability sink before any component is built,
+     so ring formation and clock initialization are captured too. *)
+  (match obs with Some s -> Dsim.Engine.set_obs eng s | None -> ());
   let latency =
     match latency with
     | Some l -> l

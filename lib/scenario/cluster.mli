@@ -25,13 +25,18 @@ val create :
   ?totem_config:Totem.Config.t ->
   ?clock_config:(int -> Clock.Hwclock.config) ->
   ?bootstrap:(int -> bool) ->
+  ?obs:Obs.Sink.t ->
   nodes:int ->
   unit ->
   t
 (** [clock_config i] gives node [i]'s physical clock parameters (default:
     ideal clocks with 1 µs granularity).  [bootstrap i] marks node [i] as
-    part of the initial fleet (default: all). The endpoints are created but
-    not started. *)
+    part of the initial fleet (default: all).  [obs] installs an
+    observability sink on the engine before any node exists, so a trace
+    captures ring formation as well (node 0 hosts the client; replica
+    [k] of the experiment rigs is node [k+1], which is also the [pid]
+    its trace events carry).  The endpoints are created but not
+    started. *)
 
 val start : t -> int -> unit
 (** Start node [i]'s endpoint (join the ring). *)

@@ -16,9 +16,10 @@ let replica_nodes replicas = List.init replicas (fun k -> k + 1)
 let setup ?(seed = 1L) ?(replicas = 3) ?clock_config ?totem_config
     ?(style = Repl.Replica.Active) ?(use_cts = true)
     ?(drift = fun _ -> Cts.Drift.No_compensation) ?(offset_tracking = true)
-    ?(recorder = fun _ -> Apps.null_recorder) () =
+    ?(recorder = fun _ -> Apps.null_recorder) ?obs () =
   let cluster =
-    Cluster.create ~seed ?clock_config ?totem_config ~nodes:(replicas + 1) ()
+    Cluster.create ~seed ?clock_config ?totem_config ?obs
+      ~nodes:(replicas + 1) ()
   in
   let drift = drift cluster in
   Cluster.start_all cluster;
@@ -126,7 +127,7 @@ type skew_run = {
 
 let skew ?seed ?(rounds = 100) ?(replicas = 3)
     ?(delays_us = [ 100; 200; 300 ]) ?(compensation = `No_compensation)
-    ?clock_drift_ppm () =
+    ?clock_drift_ppm ?obs () =
   let acc = Array.make replicas [] in
   let recorder node =
     (* node 1 -> replica index 0 *)
@@ -157,7 +158,7 @@ let skew ?seed ?(rounds = 100) ?(replicas = 3)
             gain;
           }
   in
-  let rig = setup ?seed ~replicas ~drift ?clock_config ~recorder () in
+  let rig = setup ?seed ~replicas ~drift ?clock_config ~recorder ?obs () in
   let arg =
     Printf.sprintf "%d:%s" rounds
       (String.concat "," (List.map string_of_int delays_us))

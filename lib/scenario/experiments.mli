@@ -44,6 +44,7 @@ val skew :
     | `Mean_delay of int  (** microseconds added to the offset per round *)
     | `Anchored of float * int  (** gain, external-source max skew in µs *) ] ->
   ?clock_drift_ppm:(int -> float) ->
+  ?obs:Obs.Sink.t ->
   unit ->
   skew_run
 (** The §4.2 experiment (2): one client invocation triggers [rounds]

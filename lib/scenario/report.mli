@@ -17,6 +17,13 @@ val fig6a : Format.formatter -> Experiments.skew_run -> rounds:int -> unit
 (** Figure 6(a): interval between clock operations per replica (group clock
     and local physical clocks), first [rounds] rounds. *)
 
+val first_round_winner : Experiments.skew_run -> int
+(** Replica index (0-based) of the first round's winning synchronizer —
+    the replica whose post-round-1 offset has the smallest magnitude.
+    Its trace events carry [pid = index + 1] (node 0 is the client).
+    Exposed for the observability tests, which cross-check the winner's
+    per-round adjustment against the obs [ccs-round] events. *)
+
 val fig6b : Format.formatter -> Experiments.skew_run -> rounds:int -> unit
 (** Figure 6(b): offset evolution at the winner of the first round. *)
 

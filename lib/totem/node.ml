@@ -225,6 +225,12 @@ let rec enter_gather t ~candidates ~prefail =
     }
   in
   t.state <- Gather g;
+  (let s = Dsim.Engine.obs t.eng in
+   if s.Obs.Sink.active then
+     Obs.Sink.instant s
+       ~ts_ns:(Dsim.Time.to_ns (Dsim.Engine.now t.eng))
+       ~pid:(Nid.to_int t.me) ~sub:Obs.Subsystem.Totem ~name:"gather"
+       ~args:[ ("candidates", Set.cardinal g.proc_set) ]);
   if was_operational then t.handler Blocked;
   Log.debug (fun m ->
       m "%a: enter gather (candidates=%d)" Nid.pp t.me
@@ -455,6 +461,15 @@ and maybe_finish_recovery t (rs : recovery_state) =
     t.members <- c.members;
     t.state <- Operational;
     t.stat_views <- t.stat_views + 1;
+    (let s = Dsim.Engine.obs t.eng in
+     if s.Obs.Sink.active then begin
+       Obs.Sink.count s Obs.Metrics.Totem_views;
+       Obs.Sink.instant s
+         ~ts_ns:(Dsim.Time.to_ns (Dsim.Engine.now t.eng))
+         ~pid:(Nid.to_int t.me) ~sub:Obs.Subsystem.Totem ~name:"operational"
+         ~args:
+           [ ("gen", c.new_ring.gen); ("members", List.length c.members) ]
+     end);
     (* Only the new ring's store remains relevant. *)
     t.stores <-
       Ring_id.Map.filter (fun r _ -> Ring_id.equal r c.new_ring) t.stores;
@@ -556,6 +571,14 @@ and accept_token t (tok : Wire.token) =
   t.token_era <- t.token_era + 1;
   t.last_token_seq <- tok.token_seq;
   t.stat_tokens <- t.stat_tokens + 1;
+  (let s = Dsim.Engine.obs t.eng in
+   if s.Obs.Sink.active then begin
+     Obs.Sink.count s Obs.Metrics.Totem_tokens;
+     Obs.Sink.instant s
+       ~ts_ns:(Dsim.Time.to_ns (Dsim.Engine.now t.eng))
+       ~pid:(Nid.to_int t.me) ~sub:Obs.Subsystem.Totem ~name:"token"
+       ~args:[ ("seq", tok.token_seq); ("aru", tok.aru) ]
+   end);
   (match t.token_probe with Some f -> f tok | None -> ());
   let s =
     match t.ring with Some r -> store_for t r | None -> assert false
