@@ -1,0 +1,71 @@
+(* ctslint — determinism & replica-safety static analyzer for the CTS
+   stack.  Parses every .ml under the given paths (default: lib bin
+   bench test examples) and enforces the project's determinism rules;
+   see lib/lint/rules.ml and DESIGN.md §11.
+
+     ctslint                      lint the tree, exit 1 on any finding
+     ctslint lib/gcs              lint one subtree
+     ctslint --list-rules         what is enforced
+     ctslint --list-suppressions  every [@ctslint.allow] with its reason
+     ctslint --no-suppressions    report even annotated sites (audit mode) *)
+
+let default_paths = [ "lib"; "bin"; "bench"; "test"; "examples" ]
+
+let () =
+  let list_rules = ref false in
+  let list_supps = ref false in
+  let no_supps = ref false in
+  let quiet = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--list-rules", Arg.Set list_rules, " print the rule set and exit");
+      ( "--list-suppressions",
+        Arg.Set list_supps,
+        " print every [@ctslint.allow] (file:line, rule, reason) and exit" );
+      ( "--no-suppressions",
+        Arg.Set no_supps,
+        " audit mode: report findings even where suppressed" );
+      ("--quiet", Arg.Set quiet, " print findings only, no summary");
+    ]
+  in
+  Arg.parse (Arg.align spec)
+    (fun p -> paths := p :: !paths)
+    "ctslint [options] [paths]";
+  if !list_rules then begin
+    List.iter
+      (fun (r : Lint.Rules.t) ->
+        Printf.printf "%-16s %s%s\n" r.Lint.Rules.name r.Lint.Rules.summary
+          (match r.Lint.Rules.allowed_in with
+          | [] -> ""
+          | l -> Printf.sprintf " (exempt: %s)" (String.concat ", " l));
+        ())
+      Lint.Rules.all;
+    exit 0
+  end;
+  let paths =
+    match List.rev !paths with
+    | [] -> List.filter Sys.file_exists default_paths
+    | ps -> ps
+  in
+  let report =
+    Lint.Driver.lint_paths ~respect_suppressions:(not !no_supps) paths
+  in
+  if !list_supps then begin
+    List.iter
+      (fun s -> print_endline (Lint.Suppress.to_string s))
+      report.Lint.Driver.suppressions;
+    Printf.printf "%d suppression(s) across %d file(s)\n"
+      (List.length report.Lint.Driver.suppressions)
+      report.Lint.Driver.files;
+    exit 0
+  end;
+  List.iter
+    (fun f -> print_endline (Lint.Finding.to_string f))
+    report.Lint.Driver.findings;
+  let n = List.length report.Lint.Driver.findings in
+  if not !quiet then
+    Printf.printf "ctslint: %d file(s), %d finding(s), %d suppression(s)\n"
+      report.Lint.Driver.files n
+      (List.length report.Lint.Driver.suppressions);
+  exit (if n = 0 then 0 else 1)

@@ -282,7 +282,10 @@ let on_view t view =
      its threads are blocked in, unless the old primary's message already
      arrived (§3, §3.3). *)
   if t.cfg.mode = Primary_backup && (not was_primary) && i_am_primary t then
-    Hashtbl.iter
+    (* Re-sends go out in thread-id order so the CCS message sequence a
+       promoted primary produces is a function of state, not of the
+       handler table's bucket layout. *)
+    Dsim.Det.iter_sorted ~compare:Int.compare
       (fun _ h ->
         match Ccs_handler.pending h with
         | Some payload when Ccs_handler.buffered h = 0 ->
@@ -389,10 +392,8 @@ let special_round t =
 (* Checkpoint support                                                  *)
 
 let thread_rounds t =
-  Hashtbl.fold
-    (fun _ h acc -> (Ccs_handler.thread h, Ccs_handler.round h) :: acc)
-    t.handlers []
-  |> List.sort (fun (a, _) (b, _) -> Thread_id.compare a b)
+  Dsim.Det.sorted_bindings ~compare:Int.compare t.handlers
+  |> List.map (fun (_, h) -> (Ccs_handler.thread h, Ccs_handler.round h))
 
 let advance_thread t ~thread ~round =
   Ccs_handler.advance_to (handler_for t thread) ~round

@@ -1,0 +1,35 @@
+(* Deterministic iteration over hash tables.
+
+   [Hashtbl] iteration order is a function of the hash of every key and
+   of the table's growth history — two replicas that inserted the same
+   bindings in a different order (or under a different [Hashtbl.randomize]
+   seed) observe different orders.  Any callback whose effects escape —
+   handler fan-out, message sends, list construction — therefore breaks
+   the determinism contract the whole stack depends on (dsim replay, mc
+   schedule exploration, the multicore pool's identical-at-any-N merge,
+   obs trace monotonicity).  `ctslint`'s [hash-order] rule forbids raw
+   [Hashtbl.iter]/[Hashtbl.fold] at such sites; these helpers are the
+   sanctioned replacement: they materialize the bindings, sort them by
+   key under a caller-supplied total order, and only then run the
+   callback.
+
+   Cost: O(n log n) and one list allocation per call — fine for the
+   membership/handler tables these are used on (small, cold paths);
+   never put one on a per-event hot path. *)
+
+let sorted_bindings ~compare tbl =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let sorted_keys ~compare tbl =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let iter_sorted ~compare f tbl =
+  List.iter (fun (k, v) -> f k v) (sorted_bindings ~compare tbl)
+
+let fold_sorted ~compare f tbl init =
+  List.fold_left
+    (fun acc (k, v) -> f k v acc)
+    init
+    (sorted_bindings ~compare tbl)

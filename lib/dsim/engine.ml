@@ -87,7 +87,13 @@ let schedule t d f =
    pool is allocation-free. *)
 let acquire t =
   let c = t.free_cells in
-  if c != t.nil_cell then begin
+  if
+    (c != t.nil_cell)
+    [@ctslint.allow
+      "phys-equality"
+        "pooled nil sentinel: cell identity, not contents, marks the empty \
+         free list (Marshal-safe because the sentinel is per-engine)"]
+  then begin
     t.free_cells <- c.c_next;
     c.c_next <- c;
     c

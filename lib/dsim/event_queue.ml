@@ -190,7 +190,13 @@ let remove_index h i =
     (* The displaced element may belong above or below the hole; try the
        downward direction first, and if it never moved, float it up. *)
     sift_down h i lat lseq lev;
-    if h.at.(i) == lat && h.seq.(i) == lseq then begin
+    if
+      (h.at.(i) == lat && h.seq.(i) == lseq)
+      [@ctslint.allow
+        "phys-equality"
+          "immediate ints from the unboxed heap arrays: == is = without \
+           the polymorphic-compare call on the sift hot path"]
+    then begin
       (* still in the hole: may need to travel up *)
       sift_up h i lat lseq lev
     end

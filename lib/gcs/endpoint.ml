@@ -158,7 +158,9 @@ let on_ring_view t ~(ring : Totem.Ring_id.t) ~members =
   if t.primary && (not was_primary) && t.groups <> None then begin
     Log.debug (fun m -> m "%a: evicted from primary component" Nid.pp t.me);
     t.groups <- None;
-    Hashtbl.iter (fun _ sub -> sub.handler Evicted) t.subs
+    Dsim.Det.iter_sorted ~compare:Group_id.compare
+      (fun _ sub -> sub.handler Evicted)
+      t.subs
   end;
   match t.groups with
   | None -> () (* still waiting for a snapshot; a member will send one *)
@@ -178,8 +180,12 @@ let on_ring_view t ~(ring : Totem.Ring_id.t) ~members =
       in
       t.groups <- Some m';
       (* Every subscribed group gets a view refresh: even when membership is
-         unchanged, the primary flag may have flipped. *)
-      Hashtbl.iter (fun g _ -> notify_group t g) t.subs;
+         unchanged, the primary flag may have flipped.  Fan-out runs in
+         group-id order — hash-bucket order would differ between replicas
+         that subscribed in a different sequence. *)
+      Dsim.Det.iter_sorted ~compare:Group_id.compare
+        (fun g _ -> notify_group t g)
+        t.subs;
       List.iter
         (fun g -> if not (Hashtbl.mem t.subs g) then notify_group t g)
         !changed;
@@ -203,7 +209,9 @@ let on_totem_event t (ev : payload Totem.Node.event) =
           if snap_primary then adopt_snapshot t ~ring ~groups)
   | Totem.Node.View { ring; members } -> on_ring_view t ~ring ~members
   | Totem.Node.Blocked ->
-      Hashtbl.iter (fun _ sub -> sub.handler Block) t.subs
+      Dsim.Det.iter_sorted ~compare:Group_id.compare
+        (fun _ sub -> sub.handler Block)
+        t.subs
 
 let create eng net ~me ?totem_config ~bootstrap () =
   let rec t =

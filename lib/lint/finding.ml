@@ -1,0 +1,35 @@
+(* A single diagnostic: where, which rule, and why it matters.  Kept as a
+   plain record with a stable one-line rendering so tests can compare
+   diagnostics textually (expect-style) and editors can jump to
+   [file:line:col]. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+let v ~file ~loc ~rule message =
+  let p = loc.Location.loc_start in
+  {
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    rule;
+    message;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_string t =
+  Printf.sprintf "%s:%d:%d: [%s] %s" t.file t.line t.col t.rule t.message

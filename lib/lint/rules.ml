@@ -1,0 +1,149 @@
+(* The determinism contract, as executable rules.
+
+   The paper's premise (§1, §3) is that replica consistency dies the
+   moment application code reads a nondeterministic source directly —
+   that is why CCS interposes gettimeofday()/time()/ftime().  Our whole
+   stack leans on the same contract: dsim replay, mc schedule
+   exploration, the multicore pool's identical-at-any-N merge and the
+   obs trace monotonicity checker all assume a run is a pure function of
+   its seed and schedule.  Each rule below names one way that assumption
+   silently breaks. *)
+
+type t = {
+  name : string;
+  summary : string;
+  allowed_in : string list;
+      (* path fragments ("lib/clock/", "lib/mc/pool.ml"): files matching
+         any fragment are exempt — the hard whitelist, as opposed to the
+         per-site [@ctslint.allow] escape hatch *)
+}
+
+let all =
+  [
+    {
+      name = "wall-clock";
+      summary =
+        "real-time reads (Unix.gettimeofday/time/sleep, Sys.time, \
+         monotonic-clock) outside lib/clock";
+      allowed_in = [ "lib/clock/" ];
+    };
+    {
+      name = "hash-order";
+      summary =
+        "Hashtbl.iter/fold whose callback order escapes (handlers, sends, \
+         list construction) — hash-bucket order is not deterministic";
+      allowed_in = [];
+    };
+    {
+      name = "unseeded-random";
+      summary = "ambient Random outside lib/dsim's seeded Rng breaks replay";
+      allowed_in = [ "lib/dsim/rng.ml" ];
+    };
+    {
+      name = "phys-equality";
+      summary =
+        "physical equality (==/!=) is representation-dependent; sanctioned \
+         sentinel checks must be annotated";
+      allowed_in = [];
+    };
+    {
+      name = "exn-swallow";
+      summary = "`with _ ->` discards the exception it caught";
+      allowed_in = [];
+    };
+    {
+      name = "domain-hygiene";
+      summary =
+        "Domain.spawn/self/join outside Mc.Pool bypasses the deterministic \
+         merge";
+      allowed_in = [ "lib/mc/pool.ml" ];
+    };
+    {
+      name = "bad-suppression";
+      summary =
+        "[@ctslint.allow] with a missing reason, malformed payload, or \
+         unknown rule name";
+      allowed_in = [];
+    };
+    {
+      name = "unused-allow";
+      summary = "[@ctslint.allow] that suppresses nothing";
+      allowed_in = [];
+    };
+  ]
+
+let known name = List.exists (fun r -> String.equal r.name name) all
+let find name = List.find (fun r -> String.equal r.name name) all
+
+(* Path fragments use '/' regardless of platform; [file] is the path the
+   driver was given (absolute or root-relative). *)
+let contains_substring ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let exempt rule ~file =
+  List.exists (fun frag -> contains_substring ~sub:frag file) rule.allowed_in
+
+(* ------------------------------------------------------------------ *)
+(* Identifier classification                                           *)
+
+(* [matches_suffix ~path pat] — does the dotted path end with the dotted
+   pattern?  ["Mc"; "Explore"; "wall"] matches "Explore.wall"; matching
+   on the suffix keeps aliases like [module E = Explore] honest as long
+   as the final components are spelled out. *)
+let matches_suffix ~path pat =
+  let pat = String.split_on_char '.' pat in
+  let np = List.length path and nq = List.length pat in
+  np >= nq
+  &&
+  let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+  List.equal String.equal (drop (np - nq) path) pat
+
+let wall_clock_idents =
+  [
+    "Unix.gettimeofday";
+    "Unix.time";
+    "Unix.sleep";
+    "Unix.sleepf";
+    "Sys.time";
+    "Monotonic_clock.now";
+    (* project wrappers around the monotonic clock: calling them is a
+       real-time read too, and must be just as visible *)
+    "Explore.wall";
+    "Explore.cpu";
+  ]
+
+let domain_idents = [ "Domain.spawn"; "Domain.self"; "Domain.join" ]
+
+type classified =
+  | Clean
+  | Wall_clock of string
+  | Hash_iter
+  | Hash_fold
+  | Random_use of string
+  | Phys_eq of string
+  | Domain_use of string
+
+let classify path =
+  match path with
+  | [ ("==" | "!=") ] -> Phys_eq (List.hd path)
+  | "Random" :: _ :: _ -> Random_use (String.concat "." path)
+  | _ ->
+      if matches_suffix ~path "Hashtbl.iter" then Hash_iter
+      else if matches_suffix ~path "Hashtbl.fold" then Hash_fold
+      else if
+        List.exists (fun p -> matches_suffix ~path p) wall_clock_idents
+      then Wall_clock (String.concat "." path)
+      else if List.exists (fun p -> matches_suffix ~path p) domain_idents
+      then Domain_use (String.concat "." path)
+      else Clean
+
+(* Order-restoring consumers: a [Hashtbl.fold] whose result feeds one of
+   these directly is pure aggregation — the hash order is erased before
+   it can escape. *)
+let sort_idents =
+  [ "List.sort"; "List.stable_sort"; "List.fast_sort"; "List.sort_uniq" ]
+
+let is_sort_path path =
+  List.exists (fun p -> matches_suffix ~path p) sort_idents

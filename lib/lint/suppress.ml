@@ -1,0 +1,73 @@
+(* Explicit, auditable suppression of lint findings.
+
+   A finding is silenced only by an attribute naming the rule *and* a
+   reason:
+
+     (c != t.nil_cell) [@ctslint.allow "phys-equality" "pool sentinel"]
+
+   scoped to the annotated expression (or [let] binding, via
+   [@@ctslint.allow ...]); or for a whole file:
+
+     [@@@ctslint.allow "wall-clock" "benchmarks time real elapsed time"]
+
+   A suppression without a reason, with a malformed payload, or naming an
+   unknown rule is itself a finding ([bad-suppression]), and a suppression
+   that silences nothing is flagged too ([unused-allow]) — so the set
+   printed by [ctslint --list-suppressions] is exactly the set of live,
+   justified exceptions to the determinism contract. *)
+
+type scope = File | Scoped
+
+type t = {
+  s_file : string;
+  s_line : int;
+  s_rule : string;
+  s_reason : string;
+  s_scope : scope;
+  mutable s_used : bool;
+}
+
+type parsed =
+  | Not_allow  (* some other attribute; ignore *)
+  | Allow of { rule : string; reason : string option }
+  | Malformed of string
+
+let attr_name = "ctslint.allow"
+
+let string_const (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_constant (Parsetree.Pconst_string (s, _, _)) -> Some s
+  | _ -> None
+
+(* Payload shapes accepted: ["rule" "reason"] (juxtaposition), a tuple
+   ["rule", "reason"], or a lone ["rule"] (which is then rejected for the
+   missing reason, with a pointed message). *)
+let parse (attr : Parsetree.attribute) =
+  if not (String.equal attr.Parsetree.attr_name.Location.txt attr_name) then
+    Not_allow
+  else
+    match attr.Parsetree.attr_payload with
+    | Parsetree.PStr
+        [ { Parsetree.pstr_desc = Parsetree.Pstr_eval (e, _); _ } ] -> (
+        match e.Parsetree.pexp_desc with
+        | Parsetree.Pexp_apply (f, [ (Asttypes.Nolabel, arg) ]) -> (
+            match (string_const f, string_const arg) with
+            | Some rule, Some reason -> Allow { rule; reason = Some reason }
+            | _ -> Malformed "expected two string literals: rule and reason")
+        | Parsetree.Pexp_tuple [ a; b ] -> (
+            match (string_const a, string_const b) with
+            | Some rule, Some reason -> Allow { rule; reason = Some reason }
+            | _ -> Malformed "expected two string literals: rule and reason")
+        | _ -> (
+            match string_const e with
+            | Some rule -> Allow { rule; reason = None }
+            | None ->
+                Malformed "expected two string literals: rule and reason"))
+    | _ -> Malformed "expected two string literals: rule and reason"
+
+let loc (attr : Parsetree.attribute) = attr.Parsetree.attr_loc
+
+let to_string t =
+  Printf.sprintf "%s:%d: allow %s — %s%s" t.s_file t.s_line t.s_rule
+    t.s_reason
+    (match t.s_scope with File -> " (file-wide)" | Scoped -> "")

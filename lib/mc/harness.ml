@@ -273,12 +273,17 @@ let split_order_holds cfg ((cluster, _) : world) =
      = Dsim.Rng.state scratch
 
 let make_template cfg =
-  try
-    let world = build_world cfg in
-    if split_order_holds cfg world then
-      Some (Marshal.to_bytes world [ Marshal.Closures ])
-    else None
-  with _ -> None
+  (try
+     let world = build_world cfg in
+     if split_order_holds cfg world then
+       Some (Marshal.to_bytes world [ Marshal.Closures ])
+     else None
+   with _ -> None)
+  [@ctslint.allow
+    "exn-swallow"
+      "any marshalling failure (unmarshallable closure, abstract block) \
+       only disables the reuse fast path; fresh construction is the \
+       result-identical fallback"]
 
 (* Rewind every pre-measurement stream to what fresh construction under
    [cfg.seed] would hold, replaying the canonical split order. *)
@@ -315,14 +320,18 @@ let run_reused r ?(spec = Controller.default_spec) cfg =
     match r.template with
     | Some template -> (
         match
-          try
-            let world : world = Marshal.from_bytes template 0 in
-            reseed world cfg;
-            Some world
-          with _ ->
-            (* Unmarshalling failed: disable reuse for this projection. *)
-            r.template <- None;
-            None
+          (try
+             let world : world = Marshal.from_bytes template 0 in
+             reseed world cfg;
+             Some world
+           with _ ->
+             (* Unmarshalling failed: disable reuse for this projection. *)
+             r.template <- None;
+             None)
+          [@ctslint.allow
+            "exn-swallow"
+              "unmarshalling failure disables reuse for this projection; \
+               Harness.run is the result-identical fallback"]
         with
         | Some world -> measure world ~spec cfg
         | None -> run ~spec cfg)

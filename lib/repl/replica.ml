@@ -317,7 +317,10 @@ let on_view t (view : Gcs.View.t) =
       Queue.clear t.backlog
     end;
     if may_send_state t then
-      Hashtbl.iter
+      (* Send order is node-id order: the sends race with application
+         multicasts, so hash-bucket order here would leak into the
+         totem delivery schedule. *)
+      Dsim.Det.iter_sorted ~compare:Int.compare
         (fun key ckpt ->
           if not (Hashtbl.mem t.seen_states key) then
             Gcs.Endpoint.multicast t.endpoint

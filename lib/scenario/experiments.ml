@@ -165,6 +165,11 @@ let skew ?seed ?(rounds = 100) ?(replicas = 3)
   in
   run_client rig (fun client ->
       ignore (Rpc.Client.invoke client ~op:"seq" ~arg : string));
+  (* The client returns once a quorum replies, so the laggard replica's
+     final round can still be in flight.  Let it drain, otherwise the
+     per-replica samples and obs events undercount the last round on a
+     seed-dependent minority of schedules. *)
+  Cluster.run_for rig.cluster (Span.of_ms 50);
   let stats r = Cts.Service.stats (Repl.Replica.service r) in
   {
     samples = Array.map List.rev acc;

@@ -244,7 +244,13 @@ and join_tick t g =
   after t t.cfg.join_retransmit (fun () ->
       match t.state with
       | Gather g' | Wait_commit g' ->
-          if g' == g then begin
+          if
+            (g' == g)
+            [@ctslint.allow
+              "phys-equality"
+                "generation check: is this timer still about the same \
+                 gather attempt, not a structurally identical later one"]
+          then begin
             send_join t g;
             join_tick t g
           end
@@ -253,7 +259,11 @@ and join_tick t g =
 and arm_consensus_deadline t g =
   after t t.cfg.consensus_timeout (fun () ->
       match t.state with
-      | Gather g' when g' == g ->
+      | Gather g'
+        when (g' == g)
+             [@ctslint.allow
+               "phys-equality"
+                 "generation check: timer validity is attempt identity"] ->
           let live = Set.diff g.proc_set g.fail_set in
           let silent = Set.filter (fun p -> not (Hashtbl.mem g.joins p)) live in
           if not (Set.is_empty silent) then begin
@@ -305,11 +315,8 @@ and maybe_consensus t g =
                 Hashtbl.replace per_ring r
                   (min lo (info.old_aru + 1), max hi info.high_seq))
           member_old;
-        Hashtbl.fold
-          (fun r (lo, hi) acc ->
-            if hi >= lo then (r, (lo, hi)) :: acc else acc)
-          per_ring []
-        |> List.sort (fun (a, _) (b, _) -> Ring_id.compare a b)
+        Dsim.Det.sorted_bindings ~compare:Ring_id.compare per_ring
+        |> List.filter (fun (_, (lo, hi)) -> hi >= lo)
       in
       let c : Wire.commit =
         { new_ring; members = members_sorted; member_old; recover }
@@ -326,7 +333,12 @@ and maybe_consensus t g =
       t.state <- Wait_commit g;
       after t t.cfg.commit_timeout (fun () ->
           match t.state with
-          | Wait_commit g' when g' == g && g.round = round ->
+          | Wait_commit g'
+            when ((g' == g)
+                 [@ctslint.allow
+                   "phys-equality"
+                     "generation check: timer validity is attempt identity"])
+                 && g.round = round ->
               let live = Set.diff g.proc_set g.fail_set in
               let leader = Set.min_elt live in
               Log.debug (fun m ->
@@ -373,7 +385,9 @@ and send_offers t (rs : recovery_state) =
     mine
 
 and union_held (rs : recovery_state) r =
-  Hashtbl.fold
+  (* Set union is commutative, but folding in sorted node order anyway
+     keeps the site inside the determinism contract for free. *)
+  Dsim.Det.fold_sorted ~compare:Nid.compare
     (fun _ offer acc ->
       match List.assoc_opt r offer with
       | Some held -> List.fold_left (fun a s -> IntSet.add s a) acc held
@@ -518,7 +532,11 @@ and install_ring t (c : Wire.commit) =
   recovery_tick t rs;
   after t t.cfg.recovery_timeout (fun () ->
       match t.state with
-      | Recover rs' when rs' == rs ->
+      | Recover rs'
+        when (rs' == rs)
+             [@ctslint.allow
+               "phys-equality"
+                 "generation check: timer validity is attempt identity"] ->
           Log.debug (fun m -> m "%a: recovery timeout" Nid.pp t.me);
           enter_gather t ~candidates:(Set.of_list c.members) ~prefail:Set.empty
       | _ -> ());
@@ -527,7 +545,11 @@ and install_ring t (c : Wire.commit) =
 and recovery_tick t rs =
   after t t.cfg.recovery_retry (fun () ->
       match t.state with
-      | Recover rs' when rs' == rs ->
+      | Recover rs'
+        when (rs' == rs)
+             [@ctslint.allow
+               "phys-equality"
+                 "generation check: timer validity is attempt identity"] ->
           send_offers t rs;
           request_missing t rs;
           if rs.my_done_sent then

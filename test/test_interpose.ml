@@ -123,11 +123,23 @@ let test_nested_context_restored () =
           let outer_before = Cts.Interpose.context () in
           Cts.Interpose.with_context sb ~thread (fun () ->
               match Cts.Interpose.context () with
-              | Some (s, _) -> assert (s == sb)
+              | Some (s, _) ->
+                  assert (
+                    (s == sb)
+                    [@ctslint.allow
+                      "phys-equality"
+                        "context restoration must hand back the same \
+                         service value, not a copy"])
               | None -> assert false);
           let outer_after = Cts.Interpose.context () in
           (match (outer_before, outer_after) with
-          | Some (s1, _), Some (s2, _) -> ok := s1 == sa && s2 == sa
+          | Some (s1, _), Some (s2, _) ->
+              ok :=
+                (s1 == sa && s2 == sa)
+                [@ctslint.allow
+                  "phys-equality"
+                    "context restoration must hand back the same service \
+                     value, not a copy"]
           | _ -> ok := false)));
   Dsim.Engine.run ~until:(Time.of_ms 60) eng;
   check bool "nesting restores the outer binding" true !ok

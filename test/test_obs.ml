@@ -41,7 +41,10 @@ let test_metrics_gauges_hists_sections () =
   let g = Obs.Metrics.gauge m "queue_depth" in
   g := 42.;
   check bool "gauge find-or-create" true
-    (Obs.Metrics.gauge m "queue_depth" == g);
+    ((Obs.Metrics.gauge m "queue_depth" == g)
+    [@ctslint.allow
+      "phys-equality" "the test asserts find-or-create returns the same \
+                       ref, so identity is exactly what is under test"]);
   Obs.Metrics.observe m Obs.Metrics.Rpc_latency_us 120.;
   Obs.Metrics.observe m Obs.Metrics.Rpc_latency_us 130.;
   check int "hist count" 2
@@ -49,7 +52,10 @@ let test_metrics_gauges_hists_sections () =
   let s = Obs.Metrics.section m "engine-step" in
   Obs.Metrics.section_record s ~events:1000 ~ns:5e6 ~minor_words:0.;
   check bool "section find-or-create" true
-    (Obs.Metrics.section m "engine-step" == s);
+    ((Obs.Metrics.section m "engine-step" == s)
+    [@ctslint.allow
+      "phys-equality" "the test asserts find-or-create returns the same \
+                       record, so identity is exactly what is under test"]);
   check int "section events" 1000 s.Obs.Metrics.s_events;
   let json = Obs.Metrics.to_json m in
   let contains needle =
