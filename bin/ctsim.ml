@@ -399,6 +399,105 @@ let explore_cmd =
       $ crash $ quantum_us $ delay_prob $ reorder_prob $ keep_going $ jobs
       $ trace_out)
 
+(* ------------------------------------------------------------------ *)
+
+let hier_cmd =
+  let module CH = Scenario.Cluster_hier in
+  let module Span = Dsim.Time.Span in
+  let run seed shards shard_size duration_ms mode crash_shard =
+    let mode =
+      match mode with
+      | "star" -> Hier.Gateway.Star
+      | "ring" -> Hier.Gateway.Ring
+      | m ->
+          Format.fprintf ppf "unknown --mode %S (star|ring)@." m;
+          exit 2
+    in
+    let topo = Hier.Topology.create ~shards ~shard_size in
+    let clock_config i =
+      {
+        Clock.Hwclock.default_config with
+        offset =
+          Span.of_ms (-1 * Hier.Topology.shard_of topo (Netsim.Node_id.of_int i));
+      }
+    in
+    let t =
+      CH.create ~seed:(seed64 seed) ~clock_config
+        ~gateway_config:{ Hier.Gateway.default_config with Hier.Gateway.mode }
+        ~shards ~shard_size ()
+    in
+    Format.fprintf ppf
+      "%d replicas (%d shards x %d), %s bridge, shard s clocks start s ms \
+       behind@."
+      (Hier.Topology.replicas topo)
+      shards shard_size
+      (match mode with Hier.Gateway.Star -> "star" | Hier.Gateway.Ring -> "ring");
+    CH.start_all t;
+    Format.fprintf ppf "rings and groups formed at t=%d us; initial skew %d us@."
+      (Dsim.Time.to_us (Dsim.Engine.now t.CH.eng))
+      (Span.to_us (CH.cross_shard_skew t));
+    CH.start_readers t;
+    let slice = Span.of_ms 10 in
+    let slices = max 1 (duration_ms / 10) in
+    Format.fprintf ppf "@.%-10s %-12s %-10s %-10s %-8s %s@." "t(ms)"
+      "skew(us)" "neighbor" "agreed" "regr" "ccs-rounds";
+    for k = 1 to slices do
+      CH.run_for t slice;
+      (match crash_shard with
+      | Some s when k = slices / 2 -> (
+          match CH.crash_gateway t s with
+          | Some id ->
+              Format.fprintf ppf "-- crashed shard %d's gateway (node %d)@."
+                s (Netsim.Node_id.to_int id)
+          | None -> ())
+      | _ -> ());
+      Format.fprintf ppf "%-10d %-12d %-10d %-10d %-8d %d@." (k * 10)
+        (Span.to_us (CH.cross_shard_skew t))
+        (Span.to_us (CH.neighbor_skew t))
+        (CH.agreed_rounds t) (CH.regressions t)
+        (CH.ccs_rounds_completed t)
+    done;
+    let skew = CH.cross_shard_skew t in
+    Format.fprintf ppf
+      "@.final cross-shard skew %d us over %d shards; gateways: %s@."
+      (Span.to_us skew) shards
+      (String.concat " "
+         (List.init shards (fun s ->
+              match CH.gateway_of t s with
+              | Some id -> string_of_int (Netsim.Node_id.to_int id)
+              | None -> "?")))
+  in
+  let shards =
+    let doc = "Number of shards (second-level ring size)." in
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let shard_size =
+    let doc = "Replicas per shard (first-level Totem ring size)." in
+    Arg.(value & opt int 4 & info [ "shard-size" ] ~docv:"K" ~doc)
+  in
+  let duration =
+    let doc = "Simulated run length in milliseconds." in
+    Arg.(value & opt int 100 & info [ "duration-ms" ] ~docv:"MS" ~doc)
+  in
+  let mode =
+    let doc = "Bridge protocol: star (poll/offer/agree) or ring (token)." in
+    Arg.(value & opt string "star" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let crash =
+    let doc =
+      "Crash shard $(docv)'s gateway halfway through, to watch the \
+       deterministic re-election and recovery."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "crash-shard" ] ~docv:"S" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "hier"
+       ~doc:
+         "Run the hierarchical multi-ring time service: per-shard Totem \
+          rings bridged by elected gateways agreeing a global group clock")
+    Term.(const run $ seed $ shards $ shard_size $ duration $ mode $ crash)
+
 let main =
   Cmd.group
     (Cmd.info "ctsim" ~version:"1.0.0"
@@ -415,6 +514,7 @@ let main =
       token_cmd;
       recovery_cmd;
       causal_cmd;
+      hier_cmd;
       explore_cmd;
       run_cmd;
       trace_check_cmd;

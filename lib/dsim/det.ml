@@ -33,3 +33,16 @@ let fold_sorted ~compare f tbl init =
     (fun acc (k, v) -> f k v acc)
     init
     (sorted_bindings ~compare tbl)
+
+(* Deterministic leader election: the minimum of a collection under a
+   caller-supplied total order.  Used by [Hier] to pick a shard's gateway
+   from its current view.  The fold takes a running minimum, so the result
+   is a function of the *set* of members only — independent of the list's
+   arrival order, of any Hashtbl seed upstream, and of duplicates. *)
+let elect ~compare = function
+  | [] -> None
+  | x :: rest ->
+      Some
+        (List.fold_left
+           (fun best y -> if compare y best < 0 then y else best)
+           x rest)

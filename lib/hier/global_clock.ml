@@ -1,0 +1,41 @@
+type t = {
+  mutable value : Dsim.Time.t option;
+  mutable round : int;
+  mutable updates : int;
+  mutable regressions : int;
+}
+
+let create () = { value = None; round = 0; updates = 0; regressions = 0 }
+let value t = t.value
+let round t = t.round
+let updates t = t.updates
+let regressions t = t.regressions
+
+let observe t ~round ~time =
+  t.updates <- t.updates + 1;
+  match t.value with
+  | None ->
+      t.round <- round;
+      t.value <- Some time;
+      time
+  | Some v when round <= t.round ->
+      (* Not a newer agreement: a reordered older round, or the same
+         round re-delivered (or agreed by both sides of a healing
+         dual-coordinator window).  Fold it in monotonically but do not
+         call a lower value a regression — only a strictly newer round
+         can regress. *)
+      if Dsim.Time.(time > v) then begin
+        t.value <- Some time;
+        time
+      end
+      else v
+  | Some v ->
+      t.round <- round;
+      if Dsim.Time.(time < v) then begin
+        t.regressions <- t.regressions + 1;
+        v
+      end
+      else begin
+        t.value <- Some time;
+        time
+      end

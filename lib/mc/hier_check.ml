@@ -1,0 +1,151 @@
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+module Nid = Netsim.Node_id
+module CH = Scenario.Cluster_hier
+
+type config = {
+  shards : int;
+  shard_size : int;
+  walks : int;
+  steps : int;
+  seed : int64;
+  skew_bound : Span.t;
+  crash_prob : float;
+  settle : Span.t;
+}
+
+let default =
+  {
+    shards = 3;
+    shard_size = 3;
+    walks = 8;
+    steps = 6;
+    seed = 1L;
+    skew_bound = Span.of_ms 5;
+    crash_prob = 0.4;
+    settle = Span.of_ms 40;
+  }
+
+type violation = { walk : int; step : int; invariant : string; detail : string }
+
+type report = {
+  walks_run : int;
+  crashes_injected : int;
+  violations : violation list;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "walk %d step %d: %s: %s" v.walk v.step v.invariant v.detail
+
+(* Budget of survivable crashes per shard: each crash must leave the
+   remaining members a strict majority of the previous view, so a chain
+   of single crashes keeps the shard in the primary component as long as
+   more than half the original members survive. *)
+let crash_budget shard_size = (shard_size - 1) / 2
+
+let expected_gateway t s =
+  Dsim.Det.elect ~compare:Nid.compare (CH.live_members t s)
+
+let check_step t ~cfg ~walk ~step violations =
+  (* Invariant 1: the monotone global clock never had to clamp a newer
+     agreement — regressions stay 0 through every crash and failover. *)
+  let regr = CH.regressions t in
+  if regr > 0 then
+    violations :=
+      {
+        walk;
+        step;
+        invariant = "no-global-regression";
+        detail = Printf.sprintf "%d clamped agreement(s)" regr;
+      }
+      :: !violations;
+  (* Invariant 2: after the settle window every shard's live replicas
+     agree on the gateway, and it is the deterministic winner (min live
+     id) — failover re-election is deterministic. *)
+  for s = 0 to cfg.shards - 1 do
+    let expect = expected_gateway t s in
+    let got = CH.gateway_of t s in
+    if expect <> None && got <> expect then
+      violations :=
+        {
+          walk;
+          step;
+          invariant = "deterministic-election";
+          detail =
+            Printf.sprintf "shard %d: expected %s, replicas say %s" s
+              (match expect with
+              | Some id -> string_of_int (Nid.to_int id)
+              | None -> "none")
+              (match got with
+              | Some id -> string_of_int (Nid.to_int id)
+              | None -> "disagreement or none");
+        }
+        :: !violations
+  done
+
+let check_converged t ~cfg ~walk ~step violations =
+  (* Invariant 3: with every shard still in the primary component, the
+     cross-shard skew settles within the configured bound. *)
+  let skew = CH.cross_shard_skew t in
+  if Span.compare skew cfg.skew_bound > 0 then
+    violations :=
+      {
+        walk;
+        step;
+        invariant = "cross-shard-skew";
+        detail =
+          Printf.sprintf "%d us > bound %d us" (Span.to_us skew)
+            (Span.to_us cfg.skew_bound);
+      }
+      :: !violations
+
+let walk_once ~cfg ~walk ~rng violations =
+  let topo = Hier.Topology.create ~shards:cfg.shards ~shard_size:cfg.shard_size in
+  let clock_config i =
+    {
+      Clock.Hwclock.default_config with
+      offset = Span.of_ms (-2 * Hier.Topology.shard_of topo (Nid.of_int i));
+    }
+  in
+  let seed = Dsim.Rng.int64 rng in
+  let t =
+    CH.create ~seed ~clock_config ~shards:cfg.shards
+      ~shard_size:cfg.shard_size ()
+  in
+  CH.start_all t;
+  CH.start_readers t;
+  CH.run_for t cfg.settle;
+  let budgets = Array.make cfg.shards (crash_budget cfg.shard_size) in
+  let crashes = ref 0 in
+  for step = 1 to cfg.steps do
+    (* A random stretch of undisturbed progress... *)
+    CH.run_for t (Span.of_us (Dsim.Rng.int_range rng 500 5_000));
+    (* ...then maybe crash some shard's current gateway. *)
+    let s = Dsim.Rng.int_range rng 0 (cfg.shards - 1) in
+    if Dsim.Rng.float rng 1.0 < cfg.crash_prob && budgets.(s) > 0 then begin
+      match CH.crash_gateway t s with
+      | Some _ ->
+          budgets.(s) <- budgets.(s) - 1;
+          incr crashes
+      | None -> ()
+    end;
+    CH.run_for t cfg.settle;
+    check_step t ~cfg ~walk ~step violations
+  done;
+  CH.run_for t cfg.settle;
+  check_converged t ~cfg ~walk ~step:(cfg.steps + 1) violations;
+  !crashes
+
+let run cfg =
+  let rng = Dsim.Rng.create cfg.seed in
+  let violations = ref [] in
+  let crashes = ref 0 in
+  for walk = 1 to cfg.walks do
+    let walk_rng = Dsim.Rng.split rng in
+    crashes := !crashes + walk_once ~cfg ~walk ~rng:walk_rng violations
+  done;
+  {
+    walks_run = cfg.walks;
+    crashes_injected = !crashes;
+    violations = List.rev !violations;
+  }

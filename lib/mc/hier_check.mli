@@ -1,0 +1,48 @@
+(** Random-walk exploration of the hierarchical multi-ring service.
+
+    Each walk builds a fresh {!Scenario.Cluster_hier} testbed with
+    skewed per-shard clocks, lets it converge, then alternates random
+    stretches of progress with randomly injected gateway crashes
+    (bounded so every shard keeps a strict majority of its original
+    members and thus stays in the primary component).  After every
+    perturbation the walk settles and checks the PR's three hierarchy
+    invariants:
+
+    - {e no-global-regression}: no agent's monotone global clock ever
+      clamped a newer agreement ({!Scenario.Cluster_hier.regressions}
+      stays 0);
+    - {e deterministic-election}: every shard's live replicas agree on
+      the gateway and it is the deterministic winner, the minimum live
+      node id ({!Dsim.Det.elect});
+    - {e cross-shard-skew}: at the end of the walk the live shard
+      estimates lie within [skew_bound] of each other.
+
+    All randomness comes from one {!Dsim.Rng} stream derived from
+    [seed], so a reported violation replays exactly. *)
+
+type config = {
+  shards : int;
+  shard_size : int;
+  walks : int;  (** independent random walks *)
+  steps : int;  (** perturbation steps per walk *)
+  seed : int64;
+  skew_bound : Dsim.Time.Span.t;
+  crash_prob : float;  (** chance per step of crashing a gateway *)
+  settle : Dsim.Time.Span.t;
+      (** quiescence granted after each perturbation before checking *)
+}
+
+val default : config
+(** 8 walks of 6 steps over a 3x3 hierarchy, 5 ms bound, 40 ms settle,
+    crash probability 0.4. *)
+
+type violation = { walk : int; step : int; invariant : string; detail : string }
+
+type report = {
+  walks_run : int;
+  crashes_injected : int;
+  violations : violation list;  (** empty when every walk held *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+val run : config -> report

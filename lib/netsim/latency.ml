@@ -18,6 +18,24 @@ let calibrated ~wire =
           } );
     ]
 
+let default_wan_wire = Dsim.Time.Span.of_us 350
+
+let wan ~wire =
+  (* Inter-site links: a wider bulk than the quiet-LAN model (routers and
+     queueing dominate crystal jitter) and a heavier, longer stall tail. *)
+  Mixture
+    [
+      ( 0.93,
+        Gaussian
+          { mu = wire; sigma = Dsim.Time.Span.scale 0.05 wire } );
+      ( 0.07,
+        Gaussian
+          {
+            mu = Dsim.Time.Span.add wire (Dsim.Time.Span.scale 3.0 wire);
+            sigma = Dsim.Time.Span.scale 0.8 wire;
+          } );
+    ]
+
 let floor_lat = Dsim.Time.Span.of_us 1
 
 let rec sample rng t =

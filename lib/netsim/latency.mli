@@ -22,5 +22,15 @@ val default_wire : Dsim.Time.Span.t
     4-node token rotation costs ≈ 4 × 51 µs as measured in the paper's
     reference [20] (each hop = wire + ≈ 25 µs token processing). *)
 
+val wan : wire:Dsim.Time.Span.t -> t
+(** Inter-site (shard-to-shard) link model for the hierarchical bridge:
+    a Gaussian bulk around [wire] with a proportional spread and a 7 %
+    congestion-tail component around 4 × [wire].  Distinct from
+    {!calibrated} so intra-shard and inter-shard hops can be profiled
+    independently. *)
+
+val default_wan_wire : Dsim.Time.Span.t
+(** 350 µs: one metro/regional WAN hop, ≈ 13 × the LAN wire time. *)
+
 val sample : Dsim.Rng.t -> t -> Dsim.Time.Span.t
 (** Draw a latency; always >= 1 µs. *)

@@ -23,8 +23,11 @@ type key =
   | Repl_checkpoints
   | Rpc_calls
   | Rpc_timeouts
+  | Hier_rounds
+  | Hier_corrections
+  | Hier_elections
 
-let key_count = 18
+let key_count = 21
 
 let key_index = function
   | Engine_events -> 0
@@ -45,6 +48,9 @@ let key_index = function
   | Repl_checkpoints -> 15
   | Rpc_calls -> 16
   | Rpc_timeouts -> 17
+  | Hier_rounds -> 18
+  | Hier_corrections -> 19
+  | Hier_elections -> 20
 
 let key_name = function
   | Engine_events -> "engine_events"
@@ -65,13 +71,17 @@ let key_name = function
   | Repl_checkpoints -> "repl_checkpoints"
   | Rpc_calls -> "rpc_calls"
   | Rpc_timeouts -> "rpc_timeouts"
+  | Hier_rounds -> "hier_rounds"
+  | Hier_corrections -> "hier_corrections"
+  | Hier_elections -> "hier_elections"
 
 let all_keys =
   [
     Engine_events; Fiber_spawns; Fiber_switches; Net_sent; Net_delivered;
     Net_dropped; Totem_tokens; Totem_views; Gcs_views; Ccs_rounds; Ccs_wins;
     Ccs_suppressed; Ccs_discards; Ccs_offset_updates; Repl_requests;
-    Repl_checkpoints; Rpc_calls; Rpc_timeouts;
+    Repl_checkpoints; Rpc_calls; Rpc_timeouts; Hier_rounds;
+    Hier_corrections; Hier_elections;
   ]
 
 type hkey = Ccs_adjustment_us | Rpc_latency_us

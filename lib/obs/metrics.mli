@@ -30,6 +30,9 @@ type key =
   | Repl_checkpoints
   | Rpc_calls
   | Rpc_timeouts
+  | Hier_rounds        (** cross-shard bridge rounds agreed *)
+  | Hier_corrections   (** bounded corrections injected into a shard *)
+  | Hier_elections     (** gateway (re-)elections *)
 
 type hkey = Ccs_adjustment_us | Rpc_latency_us
 

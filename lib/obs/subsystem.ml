@@ -1,6 +1,6 @@
-type t = Dsim | Netsim | Totem | Gcs | Ccs | Repl | Rpc
+type t = Dsim | Netsim | Totem | Gcs | Ccs | Repl | Rpc | Hier
 
-let count = 7
+let count = 8
 
 let to_int = function
   | Dsim -> 0
@@ -10,6 +10,7 @@ let to_int = function
   | Ccs -> 4
   | Repl -> 5
   | Rpc -> 6
+  | Hier -> 7
 
 let name = function
   | Dsim -> "dsim"
@@ -19,6 +20,7 @@ let name = function
   | Ccs -> "ccs"
   | Repl -> "repl"
   | Rpc -> "rpc"
+  | Hier -> "hier"
 
-let all = [ Dsim; Netsim; Totem; Gcs; Ccs; Repl; Rpc ]
+let all = [ Dsim; Netsim; Totem; Gcs; Ccs; Repl; Rpc; Hier ]
 let pp ppf t = Format.pp_print_string ppf (name t)

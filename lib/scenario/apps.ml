@@ -52,10 +52,15 @@ let time_server (cluster : Cluster.t) ~node ?(use_cts = true)
           let nominal = Dsim.Rng.choose rng delays in
           let noise = Dsim.Rng.int_range rng 0 20 in
           Dsim.Fiber.sleep eng (Span.of_us (nominal + noise));
+          (* Sample [real] and [pc] at the same instant the clock-related
+             operation is issued.  [gc] settles one CCS delivery later, so
+             sampling real time after [read] returns would skew every
+             (real, pc, gc) tuple by the round's settlement latency. *)
+          let real = Dsim.Engine.now eng in
           let pc = Clock.Hwclock.read clock in
           let gc = read ~thread Cts.Call_type.Gettimeofday in
           last := gc;
-          recorder.on_round ~round ~real:(Dsim.Engine.now eng) ~pc ~gc
+          recorder.on_round ~round ~real ~pc ~gc
             ~offset:(Cts.Service.offset service)
         done;
         string_of_int (Time.to_ns !last)

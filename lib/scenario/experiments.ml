@@ -202,6 +202,27 @@ let drift_per_round run =
   in
   (Stats.Regression.fit points).Stats.Regression.slope
 
+type drift_stats = {
+  per_round_us : float;
+  per_second_us : float;
+  rounds_per_sec : float;
+}
+
+let drift_stats run =
+  let per_round_us = drift_per_round run in
+  let per_second_us = drift_slope run in
+  let rounds_per_sec =
+    (* Issue rate measured on replica 0's sample stream. *)
+    match run.samples.(0) with
+    | ({ real = first; _ } :: _ as samples) when List.length samples >= 2 ->
+        let last = List.nth samples (List.length samples - 1) in
+        let elapsed = Time.to_sec_f last.real -. Time.to_sec_f first in
+        if elapsed > 0. then float_of_int (List.length samples - 1) /. elapsed
+        else 0.
+    | _ -> 0.
+  in
+  { per_round_us; per_second_us; rounds_per_sec }
+
 (* ------------------------------------------------------------------ *)
 (* A2 — roll-back / fast-forward on failover                           *)
 

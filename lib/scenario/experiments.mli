@@ -20,7 +20,11 @@ val latency : ?seed:int64 -> ?invocations:int -> ?replicas:int ->
 
 type round_sample = {
   round : int;
-  real : Dsim.Time.t;  (** simulation (real) time when the round ended *)
+  real : Dsim.Time.t;
+      (** simulation (real) time at which the clock-related operation was
+          issued — the same instant [pc] was read, so (real, pc, gc) is a
+          consistent sample (the group clock for the round settles one CCS
+          delivery later) *)
   pc : Dsim.Time.t;  (** replica's physical clock at the round start *)
   gc : Dsim.Time.t;  (** group clock decided for the round *)
   offset : Dsim.Time.Span.t;  (** replica's clock offset after the round *)
@@ -68,6 +72,21 @@ val drift_per_round : skew_run -> float
     the round index instead of real time.  Rate-independent: the per-round
     loss is a property of the algorithm and the message delays, not of how
     frequently the application reads the clock. *)
+
+type drift_stats = {
+  per_round_us : float;  (** {!drift_per_round}: the calibrated quantity *)
+  per_second_us : float;
+      (** {!drift_slope}; ≈ [per_round_us × rounds_per_sec].  Only
+          comparable across workloads with the same issue rate — quoting it
+          against a testbed that issues rounds 1000× slower is a unit
+          error on the time axis. *)
+  rounds_per_sec : float;  (** measured CCS round issue rate *)
+}
+
+val drift_stats : skew_run -> drift_stats
+(** The fig6 drift audit in one record: the per-second slope is the
+    per-round ratchet (bounded by the one-way message delay) multiplied by
+    the round issue rate. *)
 
 (** {1 A2 — roll-back / fast-forward on failover} *)
 

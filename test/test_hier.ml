@@ -1,0 +1,273 @@
+(* The hierarchical multi-ring service: topology math, deterministic
+   gateway election, cross-shard convergence in both bridge modes,
+   gateway failover and bridge partition/heal. *)
+
+module Time = Dsim.Time
+module Span = Dsim.Time.Span
+module Nid = Netsim.Node_id
+module CH = Scenario.Cluster_hier
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Topology                                                            *)
+
+let test_topology_math () =
+  let topo = Hier.Topology.create ~shards:4 ~shard_size:3 in
+  check int "replicas" 12 (Hier.Topology.replicas topo);
+  check int "shard of node 7" 2 (Hier.Topology.shard_of topo (Nid.of_int 7));
+  check int "rank of node 7" 1 (Hier.Topology.rank_of topo (Nid.of_int 7));
+  check int "node (3,2)" 11
+    (Nid.to_int (Hier.Topology.node topo ~shard:3 ~rank:2));
+  check
+    (Alcotest.list int)
+    "members of shard 1" [ 3; 4; 5 ]
+    (List.map Nid.to_int (Hier.Topology.shard_members topo 1));
+  check int "ring distance wraps" 1 (Hier.Topology.ring_distance topo 0 3);
+  check int "ring distance direct" 2 (Hier.Topology.ring_distance topo 0 2);
+  Alcotest.check_raises "node outside layout"
+    (Invalid_argument "Hier.Topology.shard_of: node outside the layout")
+    (fun () -> ignore (Hier.Topology.shard_of topo (Nid.of_int 12)))
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic election (satellite: Dsim.Det.elect)                  *)
+
+let prop_elect_order_independent =
+  QCheck.Test.make ~count:200
+    ~name:"det: elect is independent of arrival order and table layout"
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_range 0 1_000_000))
+    (fun ids ->
+      let reference = List.fold_left min (List.hd ids) ids in
+      (* arrival order: as generated, reversed, sorted descending *)
+      let perms =
+        [ ids; List.rev ids; List.sort (fun a b -> compare b a) ids ]
+      in
+      let all_orders_agree =
+        List.for_all
+          (fun p -> Dsim.Det.elect ~compare:Int.compare p = Some reference)
+          perms
+      in
+      (* Hashtbl layout: feed the ids through a randomized hash table and
+         elect over whatever order [fold] yields — the winner must not
+         depend on bucket layout or the process's hash seed. *)
+      let tbl = Hashtbl.create ~random:true 16 in
+      List.iter (fun i -> Hashtbl.replace tbl i ()) ids;
+      let hashed_order =
+        (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+        [@ctslint.allow
+          "hash-order"
+            "the property deliberately feeds bucket order to [elect] to \
+             prove the winner does not depend on it"]
+      in
+      all_orders_agree
+      && Dsim.Det.elect ~compare:Int.compare hashed_order = Some reference)
+
+let test_elect_empty () =
+  check bool "empty view elects nobody" true
+    (Dsim.Det.elect ~compare:Int.compare [] = None)
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical cluster fixtures                                       *)
+
+(* Shard s's clocks start s * 5 ms behind real time: a visible initial
+   cross-shard spread the bridge has to close. *)
+let skewed_clock topo i =
+  let shard = Hier.Topology.shard_of topo (Nid.of_int i) in
+  {
+    Clock.Hwclock.default_config with
+    offset = Span.of_ms (-5 * shard);
+  }
+
+let make ?(seed = 11L) ?(shards = 3) ?(shard_size = 3) ?gateway_config () =
+  let topo = Hier.Topology.create ~shards ~shard_size in
+  CH.create ~seed ?gateway_config
+    ~clock_config:(skewed_clock topo)
+    ~shards ~shard_size ()
+
+let settle = Span.of_ms 120
+
+let test_star_convergence () =
+  let t = make () in
+  CH.start_all t;
+  let initial = CH.cross_shard_skew t in
+  check bool "initial spread is the injected 10 ms" true
+    (Span.to_us initial > 9_000);
+  CH.start_readers t;
+  CH.run_for t settle;
+  let skew = CH.cross_shard_skew t in
+  check bool
+    (Printf.sprintf "converged (skew %d us)" (Span.to_us skew))
+    true
+    (Span.to_us skew < 5_000);
+  check bool "bridge rounds were agreed" true (CH.agreed_rounds t > 10);
+  check bool "no global-clock regression" true (CH.regressions t = 0);
+  (* the Gradient TRIX neighbour metric is bounded by the global spread *)
+  check bool "neighbor skew <= cross-shard skew" true
+    (Span.compare (CH.neighbor_skew t) skew <= 0)
+
+let test_ring_mode_convergence () =
+  let t =
+    make ~seed:12L
+      ~gateway_config:
+        { Hier.Gateway.default_config with Hier.Gateway.mode = Hier.Gateway.Ring }
+      ()
+  in
+  CH.start_all t;
+  CH.start_readers t;
+  CH.run_for t settle;
+  let skew = CH.cross_shard_skew t in
+  check bool
+    (Printf.sprintf "ring mode converged (skew %d us)" (Span.to_us skew))
+    true
+    (Span.to_us skew < 5_000);
+  check bool "ring mode agreed rounds" true (CH.agreed_rounds t > 10)
+
+let test_deterministic_runs () =
+  let run () =
+    let t = make ~seed:21L () in
+    CH.start_all t;
+    CH.start_readers t;
+    CH.run_for t settle;
+    (Span.to_us (CH.cross_shard_skew t), CH.agreed_rounds t)
+  in
+  let a = run () and b = run () in
+  check bool "same seed, same skew and rounds" true (a = b)
+
+let test_gateway_crash_reelection () =
+  let t = make ~seed:13L () in
+  CH.start_all t;
+  CH.start_readers t;
+  CH.run_for t (Span.of_ms 40);
+  (* shard 1's gateway must be its lowest id (node 3) *)
+  check (Alcotest.option int) "initial gateway is min id" (Some 3)
+    (Option.map Nid.to_int (CH.gateway_of t 1));
+  let crashed = CH.crash_gateway t 1 in
+  check (Alcotest.option int) "crashed the gateway" (Some 3)
+    (Option.map Nid.to_int crashed);
+  CH.run_for t settle;
+  (* every surviving replica of shard 1 agrees on the next-lowest id *)
+  check (Alcotest.option int) "re-elected deterministically" (Some 4)
+    (Option.map Nid.to_int (CH.gateway_of t 1));
+  check bool "no global-clock regression across failover" true
+    (CH.regressions t = 0);
+  let skew = CH.cross_shard_skew t in
+  check bool
+    (Printf.sprintf "still converged after failover (skew %d us)"
+       (Span.to_us skew))
+    true
+    (Span.to_us skew < 5_000)
+
+(* Partition an entire shard away at the bridge, let it lag, heal, and
+   require re-convergence within a bounded number of gateway rounds
+   (extends the examples/partition.ml idiom to the second tier). *)
+let test_bridge_partition_heal () =
+  let topo = Hier.Topology.create ~shards:3 ~shard_size:3 in
+  (* shard 0 additionally runs slow crystals, so while isolated it drifts
+     visibly behind the global clock *)
+  let clock_config i =
+    let base = skewed_clock topo i in
+    if Hier.Topology.shard_of topo (Nid.of_int i) = 0 then
+      { base with Clock.Hwclock.drift_ppm = -8000. }
+    else base
+  in
+  let t =
+    CH.create ~seed:14L ~clock_config ~shards:3 ~shard_size:3 ()
+  in
+  CH.start_all t;
+  CH.start_readers t;
+  CH.run_for t settle;
+  check bool "converged before the partition" true
+    (Span.to_us (CH.cross_shard_skew t) < 5_000);
+  CH.isolate_shard t 0;
+  (* Shard 0 starts ahead of the residual spread, so it must first drift
+     down through it before it visibly lags: at -8000 ppm, 1.5 s of
+     isolation puts it ~12 ms behind where the global clock went. *)
+  CH.run_for t (Span.of_ms 1500);
+  let skew_partitioned = CH.cross_shard_skew t in
+  check bool
+    (Printf.sprintf "isolated shard lags (skew %d us)"
+       (Span.to_us skew_partitioned))
+    true
+    (Span.to_us skew_partitioned > 5_000);
+  let rounds_before = CH.agreed_rounds t in
+  CH.heal_bridge t;
+  (* bounded: re-convergence within 40 gateway rounds of the heal *)
+  let max_rounds = 40 in
+  let deadline () = CH.agreed_rounds t - rounds_before > max_rounds in
+  let rec wait () =
+    if CH.converged t ~bound:(Span.of_ms 5) then ()
+    else if deadline () then
+      Alcotest.failf "not re-converged within %d gateway rounds (skew %d us)"
+        max_rounds
+        (Span.to_us (CH.cross_shard_skew t))
+    else begin
+      CH.run_for t (Span.of_ms 5);
+      wait ()
+    end
+  in
+  wait ();
+  check bool "no regression through partition and heal" true
+    (CH.regressions t = 0)
+
+let test_mid_scale_smoke () =
+  (* 8 shards x 8 replicas: the shape CI smokes at 64 replicas. *)
+  let topo = Hier.Topology.create ~shards:8 ~shard_size:8 in
+  let t =
+    CH.create ~seed:15L
+      ~clock_config:(fun i ->
+        {
+          Clock.Hwclock.default_config with
+          offset = Span.of_ms (-2 * Hier.Topology.shard_of topo (Nid.of_int i));
+        })
+      ~shards:8 ~shard_size:8 ()
+  in
+  CH.start_all t;
+  CH.start_readers t;
+  CH.run_for t (Span.of_ms 150);
+  let skew = CH.cross_shard_skew t in
+  check bool
+    (Printf.sprintf "64-replica skew within bound (%d us)" (Span.to_us skew))
+    true
+    (Span.to_us skew < 6_000);
+  check bool "ccs rounds completed across the fleet" true
+    (CH.ccs_rounds_completed t > 8 * 8 * 20)
+
+(* Random-walk exploration with gateway crashes: the mc invariants
+   (skew bound, deterministic re-election, no global-clock regression)
+   must hold on every explored schedule. *)
+let test_random_walks () =
+  let report =
+    Mc.Hier_check.run
+      { Mc.Hier_check.default with Mc.Hier_check.walks = 4; steps = 4 }
+  in
+  check int "walks explored" 4 report.Mc.Hier_check.walks_run;
+  check bool "crashes were actually injected" true
+    (report.Mc.Hier_check.crashes_injected > 0);
+  match report.Mc.Hier_check.violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "%d violation(s), first: %a"
+        (List.length report.Mc.Hier_check.violations)
+        Mc.Hier_check.pp_violation v
+
+let suites =
+  [
+    ( "hier",
+      [
+        Alcotest.test_case "topology math" `Quick test_topology_math;
+        QCheck_alcotest.to_alcotest prop_elect_order_independent;
+        Alcotest.test_case "elect empty" `Quick test_elect_empty;
+        Alcotest.test_case "star convergence" `Slow test_star_convergence;
+        Alcotest.test_case "ring convergence" `Slow test_ring_mode_convergence;
+        Alcotest.test_case "deterministic runs" `Slow test_deterministic_runs;
+        Alcotest.test_case "gateway crash re-election" `Slow
+          test_gateway_crash_reelection;
+        Alcotest.test_case "bridge partition heal" `Slow
+          test_bridge_partition_heal;
+        Alcotest.test_case "64-replica smoke" `Slow test_mid_scale_smoke;
+        Alcotest.test_case "random walks with gateway crashes" `Slow
+          test_random_walks;
+      ] );
+  ]

@@ -46,6 +46,23 @@ let test_skew_group_clock_runs_slow () =
   let r = E.skew ~rounds:400 () in
   check bool "negative drift" true (E.drift_slope r < 0.)
 
+(* Fig6 drift audit: the headline −100k µs/s slope is the per-round ratchet
+   multiplied by the (accelerated) round issue rate, not a unit bug in the
+   model.  Pin the calibrated per-round figure to the one-way-delay band
+   and pin the per-second slope to per-round × rate, so any future unit or
+   sign error in the sampling/reporting path trips this test. *)
+let test_drift_slope_calibrated () =
+  let r = E.skew ~seed:5L ~rounds:800 () in
+  let s = E.drift_stats r in
+  check bool "per-round ratchet within one-way-delay band" true
+    (s.E.per_round_us < -5. && s.E.per_round_us > -80.);
+  check bool "rounds are issued every few hundred us" true
+    (s.E.rounds_per_sec > 1_000. && s.E.rounds_per_sec < 20_000.);
+  let predicted = s.E.per_round_us *. s.E.rounds_per_sec in
+  check bool "per-second slope = per-round x issue rate" true
+    (Float.abs (s.E.per_second_us -. predicted)
+    < 0.25 *. Float.abs s.E.per_second_us)
+
 let test_skew_message_total_near_rounds () =
   let r = E.skew ~rounds:300 () in
   let total = Array.fold_left ( + ) 0 r.E.ccs_sent in
@@ -110,6 +127,8 @@ let suites =
           test_latency_deterministic_across_runs;
         Alcotest.test_case "skew completeness" `Quick
           test_skew_samples_complete;
+        Alcotest.test_case "drift slope calibrated" `Slow
+          test_drift_slope_calibrated;
         Alcotest.test_case "group clock runs slow" `Slow
           test_skew_group_clock_runs_slow;
         Alcotest.test_case "message total" `Slow
