@@ -465,7 +465,11 @@ let hier_cmd =
          (List.init shards (fun s ->
               match CH.gateway_of t s with
               | Some id -> string_of_int (Netsim.Node_id.to_int id)
-              | None -> "?")))
+              | None -> "?")));
+    Format.fprintf ppf
+      "engine: %d events executed, event-queue high water %d@."
+      (Dsim.Engine.steps t.CH.eng)
+      (CH.queue_hwm t)
   in
   let shards =
     let doc = "Number of shards (second-level ring size)." in

@@ -241,8 +241,15 @@ let adopt_recovery_sync t (p : Ccs_msg.payload) =
     end
   end
 
+(* Wall-time attribution of CCS message reception.  [clock_read] is NOT
+   bracketed: it suspends on a fiber condition mid-call, and an attribution
+   region must stay within one engine callback. *)
+let at_on_message = Obs.Attrib.site ~sub:Obs.Subsystem.Ccs ~name:"on-message"
+
 let on_message t (msg : Gcs.Msg.t) =
-  match Ccs_msg.of_msg msg with
+  let sink = Dsim.Engine.obs t.eng in
+  Obs.Sink.attr_enter sink at_on_message;
+  (match Ccs_msg.of_msg msg with
   | None -> ()
   | Some p -> (
       t.s_received <- t.s_received + 1;
@@ -273,7 +280,8 @@ let on_message t (msg : Gcs.Msg.t) =
                   Hashtbl.replace t.common_buffer key q;
                   q
             in
-            Queue.push p q)
+            Queue.push p q));
+  Obs.Sink.attr_leave sink
 
 let on_view t view =
   let was_primary = i_am_primary t in

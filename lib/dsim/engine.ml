@@ -25,6 +25,9 @@ type t = {
   nil_cell : cell;
   mutable free_cells : cell;
   mutable obs : Obs.Sink.t;
+  mutable steps : int;
+      (* events executed since creation: one plain increment per event,
+         so event-rate accounting needs no obs sink *)
 }
 
 let obj_ignore (_ : Obj.t) = ()
@@ -47,6 +50,7 @@ let create ?(seed = 1L) () =
     nil_cell;
     free_cells = nil_cell;
     obs = Obs.Sink.inactive ();
+    steps = 0;
   }
 
 let now t = t.now
@@ -136,6 +140,7 @@ let run_event t = function
   | None -> false
   | Some (at, f) ->
       t.now <- at;
+      t.steps <- t.steps + 1;
       probe_step t at;
       f ();
       true
@@ -149,6 +154,7 @@ let step t =
         let at = Event_queue.min_time_exn t.queue in
         let f = Event_queue.pop_min_exn t.queue in
         t.now <- at;
+        t.steps <- t.steps + 1;
         probe_step t at;
         f ();
         true
@@ -164,6 +170,7 @@ let step t =
               let at = Event_queue.min_time_exn t.queue in
               let f = Event_queue.pop_min_exn t.queue in
               t.now <- at;
+              t.steps <- t.steps + 1;
               probe_step t at;
               f ();
               true
@@ -197,6 +204,7 @@ let run_plain t ~horizon budget =
         let at = Event_queue.min_time_exn t.queue in
         let f = Event_queue.pop_min_exn t.queue in
         t.now <- at;
+        t.steps <- t.steps + 1;
         probe_step t at;
         f ();
         decr n
@@ -213,6 +221,7 @@ let run_plain t ~horizon budget =
           else begin
             let f = Event_queue.pop_min_exn t.queue in
             t.now <- at;
+            t.steps <- t.steps + 1;
             probe_step t at;
             f ();
             decr budget
@@ -250,5 +259,8 @@ let with_gc_tuning ?(minor_heap_words = 1024 * 1024)
   Gc.set { saved with Gc.minor_heap_size = minor_heap_words; space_overhead };
   Fun.protect ~finally:(fun () -> Gc.set saved) f
 
+let steps t = t.steps
 let pending t = Event_queue.length t.queue
+let queue_high_water t = Event_queue.high_water t.queue
+let reset_queue_high_water t = Event_queue.reset_high_water t.queue
 let stop t = t.stopped <- true

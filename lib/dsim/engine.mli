@@ -88,5 +88,17 @@ val with_gc_tuning : ?minor_heap_words:int -> ?space_overhead:int ->
 val pending : t -> int
 (** Number of queued events. *)
 
+val steps : t -> int
+(** Events executed since creation — a plain counter kept outside the obs
+    sink so event-rate accounting costs one increment even with no sink
+    attached. *)
+
+val queue_high_water : t -> int
+(** Deepest the event queue has ever been during this engine's life (or
+    since {!reset_queue_high_water}) — the backlog-pressure gauge behind
+    the [event_queue_hwm] metric. *)
+
+val reset_queue_high_water : t -> unit
+
 val stop : t -> unit
 (** Makes the current {!run} return after the in-progress callback. *)

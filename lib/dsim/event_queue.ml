@@ -29,6 +29,8 @@ type 'a t = {
   mutable ev : 'a array;
   mutable size : int;
   mutable next_seq : int;
+  mutable hwm : int;
+      (* deepest the queue has ever been: backlog pressure at a glance *)
 }
 
 (* Written into dead [ev] slots, never read.  Storing an immediate in a
@@ -37,7 +39,7 @@ let nil : unit -> 'a = fun () -> Obj.magic 0
 
 let create ?(capacity = 0) () =
   if capacity = 0 then
-    { at = [||]; seq = [||]; ev = [||]; size = 0; next_seq = 0 }
+    { at = [||]; seq = [||]; ev = [||]; size = 0; next_seq = 0; hwm = 0 }
   else
     {
       at = Array.make capacity Time.epoch;
@@ -45,6 +47,7 @@ let create ?(capacity = 0) () =
       ev = Array.make capacity (nil ());
       size = 0;
       next_seq = 0;
+      hwm = 0;
     }
 
 (* (at, seq) earlier than slot [j]: primary key time, tie-break
@@ -130,6 +133,7 @@ let push h at ev =
   let seq = h.next_seq in
   h.next_seq <- seq + 1;
   h.size <- i + 1;
+  if h.size > h.hwm then h.hwm <- h.size;
   sift_up h i at seq ev
 
 let min_time_exn h =
@@ -163,6 +167,8 @@ let pop h =
 let peek_time h = if h.size = 0 then None else Some h.at.(0)
 let length h = h.size
 let is_empty h = h.size = 0
+let high_water h = h.hwm
+let reset_high_water h = h.hwm <- h.size
 
 (* Equal-time entries form a subtree rooted at 0 (an entry at the minimum
    time forces all its ancestors to the minimum too), so counting can

@@ -42,4 +42,13 @@ val pop_nth : 'a t -> int -> (Time.t * 'a) option
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
+val high_water : 'a t -> int
+(** Deepest the queue has ever been (over the queue's whole life, or
+    since {!reset_high_water}).  A cheap backlog-pressure gauge: updated
+    by comparing the new size against the mark on every {!push}. *)
+
+val reset_high_water : 'a t -> unit
+(** Restart the {!high_water} mark from the current length. *)
+
 val clear : 'a t -> unit

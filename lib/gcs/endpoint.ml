@@ -21,7 +21,13 @@ type event =
   | Block
   | Evicted
 
-type sub = { handler : event -> unit }
+type sub = {
+  handler : event -> unit;
+  mutable am_member : bool;
+      (* cached [List.exists (equal me) (members_of t group)], refreshed on
+         every membership edge for the group ([notify_group]) — the per-
+         delivery routing check must not walk a member list at scale *)
+}
 
 type t = {
   eng : Dsim.Engine.t;
@@ -38,6 +44,16 @@ type t = {
   mutable last_primary : Nid.Set.t option;
   mutable primary : bool;
   mutable current_ring : Totem.Ring_id.t option;
+  mutable ring_view_hook :
+    (ring:Totem.Ring_id.t -> members:Nid.t list -> unit) option;
+      (** observer called after each installed ring view — lets a harness
+          track formation progress event-driven instead of polling every
+          node's membership per engine step *)
+  mutable blocked_hook : (unit -> unit) option;
+      (** observer called when the underlying ring leaves the operational
+          state (membership change in progress) — the complement of
+          [ring_view_hook], so a harness tracking "is this ring settled"
+          sees both edges *)
 }
 
 let me t = t.me
@@ -78,13 +94,18 @@ let probe_view t view =
         ]
   end
 
+let refresh_member_cache t group sub =
+  sub.am_member <- List.exists (Nid.equal t.me) (members_of t group)
+
 let notify_group t group =
   match (Hashtbl.find_opt t.subs group, view_of t group) with
   | Some sub, Some view ->
+      refresh_member_cache t group sub;
       probe_view t view;
       sub.handler (View_change view)
   | Some sub, None ->
       (* The group lost all members (e.g. pruned by a partition). *)
+      refresh_member_cache t group sub;
       let view = { View.group; members = []; primary = t.primary } in
       probe_view t view;
       sub.handler (View_change view)
@@ -124,6 +145,13 @@ let adopt_snapshot t ~ring ~groups =
       let ops = List.rev t.buffered_ops in
       t.buffered_ops <- [];
       List.iter (apply_op t) ops;
+      (Hashtbl.iter
+         (fun g sub -> refresh_member_cache t g sub)
+         [@ctslint.allow
+           "hash-order"
+             "order-free: each callback only recomputes that sub's cached \
+              membership bit from the (already final) group map"])
+        t.subs;
       (* Joins requested while the map was unknown can go out now. *)
       let pending = List.rev t.pending_joins in
       t.pending_joins <- [];
@@ -131,13 +159,13 @@ let adopt_snapshot t ~ring ~groups =
   | None, _ -> () (* snapshot for a ring we are no longer on *)
 
 let on_app_deliver t (msg : Msg.t) ~from_node =
-  let dst = msg.header.dst_grp in
-  let am_member = List.exists (Nid.equal t.me) (members_of t dst) in
-  match Hashtbl.find_opt t.subs dst with
-  | Some sub when am_member -> sub.handler (Deliver { msg; from_node })
+  match Hashtbl.find_opt t.subs msg.header.dst_grp with
+  | Some sub when sub.am_member -> sub.handler (Deliver { msg; from_node })
   | Some _ | None -> ()
 
-let on_ring_view t ~(ring : Totem.Ring_id.t) ~members =
+let at_ring_view = Obs.Attrib.site ~sub:Obs.Subsystem.Gcs ~name:"ring-view"
+
+let on_ring_view_inner t ~(ring : Totem.Ring_id.t) ~members =
   t.current_ring <- Some ring;
   t.buffered_ops <- [];
   let member_set = Nid.Set.of_list members in
@@ -196,6 +224,20 @@ let on_ring_view t ~(ring : Totem.Ring_id.t) ~members =
       in
       Totem.Node.multicast t.node snapshot
 
+let on_ring_view t ~ring ~members =
+  let s = Dsim.Engine.obs t.eng in
+  Obs.Sink.attr_enter s at_ring_view;
+  on_ring_view_inner t ~ring ~members;
+  (* The hook observes after the view (and any snapshot re-announce) is
+     fully applied; it must not mutate protocol state. *)
+  (match t.ring_view_hook with
+  | Some hook -> hook ~ring ~members
+  | None -> ());
+  Obs.Sink.attr_leave s
+
+let set_ring_view_hook t hook = t.ring_view_hook <- hook
+let set_blocked_hook t hook = t.blocked_hook <- hook
+
 let on_totem_event t (ev : payload Totem.Node.event) =
   match ev with
   | Totem.Node.Deliver { sender; payload; _ } -> (
@@ -209,6 +251,7 @@ let on_totem_event t (ev : payload Totem.Node.event) =
           if snap_primary then adopt_snapshot t ~ring ~groups)
   | Totem.Node.View { ring; members } -> on_ring_view t ~ring ~members
   | Totem.Node.Blocked ->
+      (match t.blocked_hook with Some hook -> hook () | None -> ());
       Dsim.Det.iter_sorted ~compare:Group_id.compare
         (fun _ sub -> sub.handler Block)
         t.subs
@@ -230,6 +273,8 @@ let create eng net ~me ?totem_config ~bootstrap () =
         last_primary = None;
         primary = true;
         current_ring = None;
+        ring_view_hook = None;
+        blocked_hook = None;
       }
   in
   Lazy.force t
@@ -241,7 +286,9 @@ let join_group t group ~handler =
     invalid_arg
       (Format.asprintf "Endpoint.join_group: already joined %a" Group_id.pp
          group);
-  Hashtbl.replace t.subs group { handler };
+  let sub = { handler; am_member = false } in
+  refresh_member_cache t group sub;
+  Hashtbl.replace t.subs group sub;
   match t.groups with
   | Some _ -> announce_join t group
   | None -> t.pending_joins <- group :: t.pending_joins

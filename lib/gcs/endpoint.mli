@@ -71,4 +71,19 @@ val ring : t -> Totem.Ring_id.t option
 val totem : t -> payload Totem.Node.t
 (** Escape hatch for instrumentation (stats, token probe). *)
 
+val set_ring_view_hook :
+  t ->
+  (ring:Totem.Ring_id.t -> members:Netsim.Node_id.t list -> unit) option ->
+  unit
+(** Install (or remove) an observer called once after each ring view is
+    fully applied (groups pruned, subscribers notified, snapshot
+    re-announced).  Lets a harness track formation progress event-driven
+    instead of polling every node per engine step.  The hook must only
+    observe — mutating protocol state from it is unsupported. *)
+
+val set_blocked_hook : t -> (unit -> unit) option -> unit
+(** Observer for the other edge: called when the ring leaves the
+    operational state (a membership change started).  Same
+    observe-only contract as {!set_ring_view_hook}. *)
+
 val crash : t -> unit

@@ -212,16 +212,29 @@ let open_round t =
                  acc;
                }))
 
+let at_tick = Obs.Attrib.site ~sub:Obs.Subsystem.Hier ~name:"tick"
+
 let rec tick t gen () =
   if (not t.crashed) && t.active && gen = t.gen then begin
+    let s = Dsim.Engine.obs t.eng in
+    Obs.Sink.attr_enter s at_tick;
     if i_coordinate t then open_round t;
-    Dsim.Engine.schedule t.eng t.cfg.period (tick t gen)
+    Dsim.Engine.schedule t.eng t.cfg.period (tick t gen);
+    Obs.Sink.attr_leave s
   end
 
 (* ------------------------------------------------------------------ *)
 (* Bridge reception                                                    *)
 
-let on_bridge t ~src:_ msg =
+let at_bridge = Obs.Attrib.site ~sub:Obs.Subsystem.Hier ~name:"bridge"
+
+let rec on_bridge t ~src msg =
+  let s = Dsim.Engine.obs t.eng in
+  Obs.Sink.attr_enter s at_bridge;
+  on_bridge_inner t ~src msg;
+  Obs.Sink.attr_leave s
+
+and on_bridge_inner t ~src msg =
   if (not t.crashed) && t.active then begin
     (* Coordinator legitimacy is judged against liveness as it stood
        BEFORE this message: when a partition heals, the reunited side's
@@ -243,9 +256,15 @@ let on_bridge t ~src:_ msg =
     match msg with
     | Bridge_msg.Poll { round; coord_shard } ->
         if coord_shard <> t.my_shard then
-          broadcast t
-            (Bridge_msg.Offer
-               { round; shard = t.my_shard; time = offer_time t })
+          (* The offer answers the poll, and only the poller consumes it —
+             reply to the polling gateway instead of broadcasting, or the
+             bridge costs O(shards^2) deliveries per round.  Non-
+             coordinators consequently track liveness only of shards they
+             still hear (the coordinator's polls and agrees); after a
+             coordinator death each shard may transiently poll, and the
+             competing polls re-seed everyone's liveness the same round. *)
+          Netsim.Network.send t.bridge ~src:t.me ~dst:src
+            (Bridge_msg.Offer { round; shard = t.my_shard; time = offer_time t })
     | Bridge_msg.Offer { round; time; _ } ->
         if t.offer_round = round then begin
           t.offers <- Time.max t.offers time;

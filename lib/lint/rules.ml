@@ -112,6 +112,7 @@ let wall_clock_idents =
        real-time read too, and must be just as visible *)
     "Explore.wall";
     "Explore.cpu";
+    "Attrib.now_ns";
   ]
 
 let domain_idents = [ "Domain.spawn"; "Domain.self"; "Domain.join" ]

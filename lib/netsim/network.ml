@@ -44,10 +44,22 @@ and 'a t = {
   mutable ports : 'a port option array;
       (* indexed by node id — ids are small dense ints, so arrays beat
          hash tables on the per-packet lookup paths *)
-  mutable members : Node_id.t list;
-      (* attached nodes, sorted ascending — cached so [broadcast] does not
-         re-sort the member set per multicast *)
-  mutable groups : Node_id.Set.t list; (* empty list = no partition *)
+  mutable members : Node_id.t array;
+      (* attached nodes, sorted ascending in slots [0 .. n_members-1]
+         (slots beyond are junk).  The sorted invariant is maintained
+         incrementally — binary-search insert on attach, blit-out on
+         detach — so a join costs one shift, not the former per-join
+         [List.sort] of the whole membership *)
+  mutable n_members : int;
+  mutable group_mask : int array;
+      (* partition as a per-node-id bitmask of group membership: a packet
+         is deliverable iff the masks intersect.  Empty array = no
+         partition; ids beyond the array (or with mask 0) are in no group
+         and therefore isolated.  Rebuilt wholesale by [partition], read
+         with one [land] per packet *)
+  mutable group_sets : Node_id.Set.t list;
+      (* overflow representation when a partition has more groups than
+         mask bits — the legacy set-scan path; empty otherwise *)
   mutable sent : int array; (* per-node sent counter, indexed by id *)
   mutable delivered : int array;
   mutable last_delivery : int array array;
@@ -102,8 +114,10 @@ let create eng cfg =
     rng = Dsim.Rng.split (Dsim.Engine.rng eng);
     cfg;
     ports = [||];
-    members = [];
-    groups = [];
+    members = [||];
+    n_members = 0;
+    group_mask = [||];
+    group_sets = [];
     sent = [||];
     delivered = [||];
     last_delivery = [||];
@@ -140,21 +154,47 @@ let port_of t id =
   let i = Node_id.to_int id in
   if i < Array.length t.ports then Array.unsafe_get t.ports i else None
 
+(* Index of the first live member >= [id] (so [n_members] when every
+   member is smaller): the insertion slot for attach, the candidate slot
+   for detach. *)
+let member_slot t id =
+  let lo = ref 0 and hi = ref t.n_members in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Node_id.compare (Array.unsafe_get t.members mid) id < 0 then
+      lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
 let attach t id handler =
   ensure_node t id;
   if port_of t id <> None then
     invalid_arg
       (Format.asprintf "Network.attach: %a already attached" Node_id.pp id);
   t.ports.(Node_id.to_int id) <- Some { handler };
-  t.members <- List.sort Node_id.compare (id :: t.members)
+  let n = t.n_members in
+  if n = Array.length t.members then begin
+    let a = Array.make (if n = 0 then 8 else 2 * n) id in
+    Array.blit t.members 0 a 0 n;
+    t.members <- a
+  end;
+  let i = member_slot t id in
+  Array.blit t.members i t.members (i + 1) (n - i);
+  t.members.(i) <- id;
+  t.n_members <- n + 1
 
 let detach t id =
   let i = Node_id.to_int id in
   if i < Array.length t.ports then t.ports.(i) <- None;
-  t.members <- List.filter (fun n -> not (Node_id.equal n id)) t.members
+  let s = member_slot t id in
+  if s < t.n_members && Node_id.equal t.members.(s) id then begin
+    Array.blit t.members (s + 1) t.members s (t.n_members - s - 1);
+    t.n_members <- t.n_members - 1
+  end
 
 let attached t id = port_of t id <> None
-let nodes t = t.members
+let nodes t = List.init t.n_members (fun i -> t.members.(i))
 
 (* Call sites guard with [tracing] so the trace event (a boxed record per
    packet) is never even constructed when neither the legacy [Trace.t]
@@ -167,6 +207,17 @@ let tracing t =
       "None is immediate, so != is <> without the polymorphic-compare \
        call; this gate runs once per packet"])
   || (Dsim.Engine.obs t.eng).Obs.Sink.active
+
+(* Wall-time attribution sites (see [Obs.Attrib]): self time of packet
+   delivery, including the receive handler unless that handler is itself
+   an attributed region (then nesting subtracts it). *)
+let at_deliver = Obs.Attrib.site ~sub:Obs.Subsystem.Netsim ~name:"deliver"
+
+let at_deliver_batch =
+  Obs.Attrib.site ~sub:Obs.Subsystem.Netsim ~name:"deliver-batch"
+
+let at_bcast_many =
+  Obs.Attrib.site ~sub:Obs.Subsystem.Netsim ~name:"broadcast-many"
 
 let reason_code = function
   | Trace.Loss -> 0
@@ -229,12 +280,19 @@ let bump_delivered t id =
   Array.unsafe_set t.delivered i (Array.unsafe_get t.delivered i + 1)
 
 let reachable t ~src ~dst =
-  match t.groups with
-  | [] -> true
-  | groups ->
+  match t.group_sets with
+  | _ :: _ as groups ->
       List.exists
         (fun g -> Node_id.Set.mem src g && Node_id.Set.mem dst g)
         groups
+  | [] ->
+      let m = t.group_mask in
+      let len = Array.length m in
+      len = 0
+      ||
+      let i = Node_id.to_int src and j = Node_id.to_int dst in
+      i < len && j < len
+      && Array.unsafe_get m i land Array.unsafe_get m j <> 0
 
 (* The FIFO row for [src], sized to the port table; cells hold the last
    delivery instant in ns, [-1] when the path is untouched. *)
@@ -297,8 +355,10 @@ let dcell_fire (c : 'a dcell) =
   c.d_payload <- Obj.magic 0;
   c.d_next <- t.free_d;
   t.free_d <- c;
+  let s = Dsim.Engine.obs t.eng in
+  Obs.Sink.attr_enter s at_deliver;
   (* The destination may have crashed while the packet was in flight. *)
-  match port_of t dst with
+  (match port_of t dst with
   | None ->
       t.dropped <- t.dropped + 1;
       if tracing t then
@@ -306,18 +366,20 @@ let dcell_fire (c : 'a dcell) =
   | Some port ->
       bump_delivered t dst;
       if tracing t then trace_event t (Trace.Delivered { src; dst; payload });
-      port.handler ~src payload
+      port.handler ~src payload);
+  Obs.Sink.attr_leave s
 
-let deliver t ~src ~dst payload =
+let deliver_extra t ~extra ~src ~dst payload =
   if reachable t ~src ~dst then
     if t.cfg.loss > 0. && Dsim.Rng.float t.rng 1.0 < t.cfg.loss then begin
       t.dropped <- t.dropped + 1;
       if tracing t then
         trace_event t
-          (Trace.Dropped { src; dst; payload; reason = Trace.Loss })
+          (Trace.Dropped { src; dst; payload; reason = Trace.Loss });
+      false
     end
     else begin
-      let lat = Latency.sample t.rng t.cfg.latency in
+      let lat = Dsim.Time.Span.add extra (Latency.sample t.rng t.cfg.latency) in
       (* Controller-directed extra delay (schedule exploration) is added
          before the FIFO bump below, so the per-path ordering guarantee
          holds even for perturbed packets. *)
@@ -336,27 +398,41 @@ let deliver t ~src ~dst payload =
       in
       path_set row dst at_ns;
       Dsim.Engine.schedule_call_at t.eng (Dsim.Time.of_ns at_ns) dcell_fire
-        (acquire_dcell t ~src ~dst payload)
+        (acquire_dcell t ~src ~dst payload);
+      true
     end
   else begin
     t.dropped <- t.dropped + 1;
     if tracing t then
       trace_event t
-        (Trace.Dropped { src; dst; payload; reason = Trace.Partitioned })
+        (Trace.Dropped { src; dst; payload; reason = Trace.Partitioned });
+    false
   end
 
-let send t ~src ~dst payload =
+let deliver t ~src ~dst payload =
+  deliver_extra t ~extra:Dsim.Time.Span.zero ~src ~dst payload
+
+let send_tracked t ~src ~dst payload =
   bump_sent t src;
   if tracing t then trace_event t (Trace.Sent { src; dst = Some dst; payload });
   deliver t ~src ~dst payload
 
+let send_tracked_after t ~delay ~src ~dst payload =
+  bump_sent t src;
+  if tracing t then trace_event t (Trace.Sent { src; dst = Some dst; payload });
+  deliver_extra t ~extra:delay ~src ~dst payload
+
+let send t ~src ~dst payload =
+  ignore (send_tracked t ~src ~dst payload : bool)
+
 let broadcast t ~src payload =
   bump_sent t src;
   if tracing t then trace_event t (Trace.Sent { src; dst = None; payload });
-  List.iter
-    (fun dst ->
-      if not (Node_id.equal dst src) then deliver t ~src ~dst payload)
-    t.members
+  for i = 0 to t.n_members - 1 do
+    let dst = Array.unsafe_get t.members i in
+    if not (Node_id.equal dst src) then
+      ignore (deliver t ~src ~dst payload : bool)
+  done
 
 let acquire_bcell t ~src ~dst ~at =
   let b = t.free_b in
@@ -408,6 +484,8 @@ let bcell_fire (b : 'a bcell) =
   let t = b.b_net in
   let src = b.b_src and dst = b.b_dst in
   let n = b.b_n in
+  let s = Dsim.Engine.obs t.eng in
+  Obs.Sink.attr_enter s at_deliver_batch;
   for i = 0 to n - 1 do
     let payload : 'a = Obj.obj (Array.unsafe_get b.b_payloads i) in
     (* Re-checked per message, and recorded per message: a handler that
@@ -430,13 +508,16 @@ let bcell_fire (b : 'a bcell) =
   done;
   b.b_n <- 0;
   b.b_next <- t.free_b;
-  t.free_b <- b
+  t.free_b <- b;
+  Obs.Sink.attr_leave s
 
 let broadcast_many t ~src payloads ~n =
   if n < 0 || n > Array.length payloads then
     invalid_arg "Network.broadcast_many: n out of range";
   if n = 1 then broadcast t ~src payloads.(0)
   else if n > 0 then begin
+    let s = Dsim.Engine.obs t.eng in
+    Obs.Sink.attr_enter s at_bcast_many;
     for i = 0 to n - 1 do
       bump_sent t src;
       if tracing t then
@@ -444,9 +525,9 @@ let broadcast_many t ~src payloads ~n =
     done;
     let now_ns = Dsim.Time.to_ns (Dsim.Engine.now t.eng) in
     let paths = paths_from t src in
-    List.iter
-      (fun dst ->
-        if not (Node_id.equal dst src) then begin
+    for mi = 0 to t.n_members - 1 do
+      let dst = Array.unsafe_get t.members mi in
+      (if not (Node_id.equal dst src) then begin
           if reachable t ~src ~dst then begin
             (* Per-destination batching: consecutive messages whose raw
                delivery instant does not exceed the open batch's instant
@@ -507,17 +588,50 @@ let broadcast_many t ~src payloads ~n =
             done
           end
         end)
-      t.members
+    done;
+    Obs.Sink.attr_leave s
   end
 
 let set_loss t loss =
   if loss < 0. || loss >= 1. then invalid_arg "Network.set_loss: out of [0, 1)";
   t.cfg <- { t.cfg with loss }
 
-let partition t groups =
-  t.groups <- List.map Node_id.Set.of_list groups
+(* One bit per group; the top bit stays clear so masks are plain
+   non-negative immediates. *)
+let mask_bits = Sys.int_size - 2
 
-let heal t = t.groups <- []
+let partition t groups =
+  let ng = List.length groups in
+  if ng = 0 then begin
+    (* historical behaviour: an empty partition heals *)
+    t.group_mask <- [||];
+    t.group_sets <- []
+  end
+  else if ng > mask_bits then begin
+    t.group_mask <- [||];
+    t.group_sets <- List.map Node_id.Set.of_list groups
+  end
+  else begin
+    let top =
+      List.fold_left
+        (List.fold_left (fun acc id -> max acc (Node_id.to_int id)))
+        (-1) groups
+    in
+    (* at least one slot, so an all-empty partition still isolates
+       everyone instead of looking like "no partition" *)
+    let m = Array.make (max 1 (top + 1)) 0 in
+    List.iteri
+      (fun g ids ->
+        let bit = 1 lsl g in
+        List.iter (fun id -> m.(Node_id.to_int id) <- m.(Node_id.to_int id) lor bit) ids)
+      groups;
+    t.group_mask <- m;
+    t.group_sets <- []
+  end
+
+let heal t =
+  t.group_mask <- [||];
+  t.group_sets <- []
 
 let stats t ~sent id =
   let a = if sent then t.sent else t.delivered in

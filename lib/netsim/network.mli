@@ -41,6 +41,25 @@ val send : 'a t -> src:Node_id.t -> dst:Node_id.t -> 'a -> unit
 (** Unicast; silently dropped when lossy, partitioned, or [dst] is not
     attached.  A node may send to itself (loopback, same latency model). *)
 
+val send_tracked : 'a t -> src:Node_id.t -> dst:Node_id.t -> 'a -> bool
+(** {!send}, reporting whether the packet was actually queued for
+    delivery: [false] means it was lost or partitioned away at send time.
+    (A destination that crashes while the packet is in flight still
+    counts as queued.)  Lets a sender that would arm a recovery timer
+    "in case this gets lost" skip the timer on the overwhelmingly common
+    delivered path — the simulator knows the loss outcome at send time,
+    the protocol's observable behaviour is unchanged. *)
+
+val send_tracked_after :
+  'a t -> delay:Dsim.Time.Span.t -> src:Node_id.t -> dst:Node_id.t -> 'a -> bool
+(** {!send_tracked} with [delay] added on top of the sampled latency
+    (before the per-path FIFO adjustment, like the model checker's delay
+    hook, so no-overtaking still holds).  Lets a protocol that holds a
+    message for a deterministic processing time commit the send
+    immediately instead of parking the decision in a timer event — one
+    queue event per packet instead of two.  Loss, partition and latency
+    are all drawn at call time. *)
+
 val broadcast : 'a t -> src:Node_id.t -> 'a -> unit
 (** Deliver to every attached node except [src], subject to loss and
     partitions, with an independent latency draw per receiver. *)

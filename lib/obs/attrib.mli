@@ -1,0 +1,51 @@
+(** Wall-time attribution: per-(subsystem, probe) {e self} wall time in
+    real nanoseconds, so a big run can say where its wall seconds went.
+
+    A {!site} is a (subsystem, probe-name) pair interned once, at module
+    initialization, into a process-wide registry; the accumulators live
+    in the per-recorder {!t}, so two concurrent recorders do not share
+    state.  Regions nest: [leave] charges the elapsed time minus the
+    time consumed by nested attributed regions, so summing every site's
+    self time never double-counts.
+
+    Attribution is reached through {!Sink.attr_enter} / {!Sink.attr_leave},
+    which are no-ops (one load, one branch) unless a recorder has been
+    attached with {!Sink.set_attrib} — the same opt-in discipline as the
+    rest of [lib/obs].  Regions must be exited on every path; the helpers
+    do not tolerate exceptions escaping an open region. *)
+
+type site = private int
+
+val site : sub:Subsystem.t -> name:string -> site
+(** Intern (and on repeat calls, find) a site.  Call once per probe at
+    module-initialization time, not on the hot path. *)
+
+val site_subsystem : site -> Subsystem.t
+val site_name : site -> string
+
+type t
+
+val create : unit -> t
+
+val enter : t -> site -> unit
+val leave : t -> unit
+(** [leave] closes the most recently entered region.  Raises
+    [Invalid_argument] if no region is open. *)
+
+type row = {
+  sub : Subsystem.t;
+  probe : string;
+  calls : int;
+  self_ns : float;
+}
+
+val report : t -> row list
+(** Sites with at least one call, most self time first. *)
+
+val total_ns : t -> float
+(** Sum of all self times = total attributed wall ns. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> string

@@ -3,10 +3,17 @@ type t = {
   mutable trace : Trace.t option;
   mutable metrics : Metrics.t option;
   mutable trace_steps : bool;
+  mutable attrib : Attrib.t option;
 }
 
 let inactive () =
-  { active = false; trace = None; metrics = None; trace_steps = false }
+  {
+    active = false;
+    trace = None;
+    metrics = None;
+    trace_steps = false;
+    attrib = None;
+  }
 
 let create = inactive
 
@@ -45,3 +52,19 @@ let count t k = match t.metrics with Some m -> Metrics.incr m k | None -> ()
 
 let observe t hk v =
   match t.metrics with Some m -> Metrics.observe m hk v | None -> ()
+
+(* Wall-time attribution is gated separately from [active]: a recorder
+   can be attached without paying for trace-event construction at every
+   [active]-gated probe, and vice versa.  Disabled cost is the same one
+   load + one branch. *)
+
+let set_attrib t a = t.attrib <- a
+let attrib t = t.attrib
+
+let attr_enter t site =
+  match t.attrib with Some a -> Attrib.enter a site | None -> ()
+[@@inline]
+
+let attr_leave t =
+  match t.attrib with Some a -> Attrib.leave a | None -> ()
+[@@inline]

@@ -29,6 +29,10 @@ type t = {
   mutable trace_steps : bool;
       (** also emit one instant event per engine callback (very hot;
           off by default even when tracing) *)
+  mutable attrib : Attrib.t option;
+      (** wall-time attribution recorder; gated separately from
+          [active] (see {!attr_enter}) so profiling a big run does not
+          also pay for trace-event construction *)
 }
 
 val inactive : unit -> t
@@ -67,3 +71,16 @@ val instant :
 
 val count : t -> Metrics.key -> unit
 val observe : t -> Metrics.hkey -> float -> unit
+
+(** {1 Wall-time attribution}
+
+    Separate gate from [active]: [attr_enter]/[attr_leave] are no-ops
+    (one load, one branch) until a recorder is attached with
+    [set_attrib].  Callers bracket a region with a site interned once
+    via {!Attrib.site}; regions nest and must be exited on every
+    path. *)
+
+val set_attrib : t -> Attrib.t option -> unit
+val attrib : t -> Attrib.t option
+val attr_enter : t -> Attrib.site -> unit
+val attr_leave : t -> unit

@@ -1,6 +1,6 @@
-type t = Dsim | Netsim | Totem | Gcs | Ccs | Repl | Rpc | Hier
+type t = Dsim | Netsim | Totem | Gcs | Ccs | Repl | Rpc | Hier | Scenario
 
-let count = 8
+let count = 9
 
 let to_int = function
   | Dsim -> 0
@@ -11,6 +11,7 @@ let to_int = function
   | Repl -> 5
   | Rpc -> 6
   | Hier -> 7
+  | Scenario -> 8
 
 let name = function
   | Dsim -> "dsim"
@@ -21,6 +22,7 @@ let name = function
   | Repl -> "repl"
   | Rpc -> "rpc"
   | Hier -> "hier"
+  | Scenario -> "scenario"
 
-let all = [ Dsim; Netsim; Totem; Gcs; Ccs; Repl; Rpc; Hier ]
+let all = [ Dsim; Netsim; Totem; Gcs; Ccs; Repl; Rpc; Hier; Scenario ]
 let pp ppf t = Format.pp_print_string ppf (name t)

@@ -4,7 +4,7 @@
     Chrome trace export a subsystem becomes the [tid] (one named thread
     row per subsystem under each replica's process). *)
 
-type t = Dsim | Netsim | Totem | Gcs | Ccs | Repl | Rpc | Hier
+type t = Dsim | Netsim | Totem | Gcs | Ccs | Repl | Rpc | Hier | Scenario
 
 val count : int
 (** Number of subsystems; [to_int] is a bijection into [0 .. count-1]. *)

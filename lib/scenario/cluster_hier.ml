@@ -23,9 +23,28 @@ type t = {
   group : Gcs.Group_id.t;
   reader_period : Span.t;
   mutable readers_stopped : bool;
+  (* Event-driven formation tracking.  The old barriers re-evaluated an
+     O(shards x shard_size^2) membership predicate after EVERY engine
+     step — the dominant cost of large formations (238 s of the 1024-
+     replica run).  Instead, membership events (ring views, blocked
+     rings, group view changes, crashes) mark their shard dirty, and the
+     barrier predicate re-evaluates the exact predicate only for dirty
+     shards: same value at every step — the event hooks cover every
+     mutation the predicate reads — so the barrier exits at the
+     identical step, at O(1) per quiet step. *)
+  form_dirty : bool array; (* per shard *)
+  form_cache : bool array; (* last exact predicate value per shard *)
+  mutable form_formed : int; (* number of [true] entries in form_cache *)
+  mutable form_any_dirty : bool;
 }
 
 let reader_thread = Cts.Thread_id.of_int 1
+
+let mark_dirty t s =
+  if not t.form_dirty.(s) then begin
+    t.form_dirty.(s) <- true;
+    t.form_any_dirty <- true
+  end
 
 let create ?(seed = 1L) ?shard_latency ?bridge_latency ?(bridge_loss = 0.)
     ?totem_config ?clock_config ?gateway_config
@@ -87,16 +106,33 @@ let create ?(seed = 1L) ?shard_latency ?bridge_latency ?(bridge_loss = 0.)
     Hier.Gateway.set_on_correction gateway (fun () -> r.boost <- true);
     r
   in
-  {
-    eng;
-    topo;
-    shard_nets;
-    bridge;
-    replicas = Array.init (Hier.Topology.replicas topo) make;
-    group;
-    reader_period;
-    readers_stopped = false;
-  }
+  let t =
+    {
+      eng;
+      topo;
+      shard_nets;
+      bridge;
+      replicas = Array.init (Hier.Topology.replicas topo) make;
+      group;
+      reader_period;
+      readers_stopped = false;
+      form_dirty = Array.make shards true;
+      form_cache = Array.make shards false;
+      form_formed = 0;
+      form_any_dirty = true;
+    }
+  in
+  (* Every membership edge marks its shard dirty for the formation
+     barriers; the hooks observe only. *)
+  Array.iter
+    (fun r ->
+      let s = r.shard in
+      Gcs.Endpoint.set_ring_view_hook r.endpoint
+        (Some (fun ~ring:_ ~members:_ -> mark_dirty t s));
+      Gcs.Endpoint.set_blocked_hook r.endpoint
+        (Some (fun () -> mark_dirty t s)))
+    t.replicas;
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Driving                                                             *)
@@ -142,32 +178,63 @@ let shard_formed t s =
          = List.length expect)
        expect
 
-let for_all_shards t pred =
-  let ok = ref true in
-  for s = 0 to Hier.Topology.shards t.topo - 1 do
-    if not (pred t s) then ok := false
-  done;
-  !ok
+let at_form_poll =
+  Obs.Attrib.site ~sub:Obs.Subsystem.Scenario ~name:"form-poll"
+
+(* Barrier over the cached per-shard values: exact predicates re-run for
+   dirty shards only, then one integer comparison.  [exact t s] must
+   depend only on state whose every mutation marks shard [s] dirty (ring
+   views, blocked rings, group view changes, crashes) — that makes the
+   cached value equal to the polled value at every step, so the barrier
+   exits at the identical step as the polling version it replaces. *)
+let form_pred t exact () =
+  let shards = Hier.Topology.shards t.topo in
+  if t.form_any_dirty then begin
+    let s = Dsim.Engine.obs t.eng in
+    Obs.Sink.attr_enter s at_form_poll;
+    for sh = 0 to shards - 1 do
+      if t.form_dirty.(sh) then begin
+        t.form_dirty.(sh) <- false;
+        let v = exact t sh in
+        if v <> t.form_cache.(sh) then begin
+          t.form_cache.(sh) <- v;
+          t.form_formed <- (t.form_formed + if v then 1 else -1)
+        end
+      end
+    done;
+    t.form_any_dirty <- false;
+    Obs.Sink.attr_leave s
+  end;
+  t.form_formed = shards
+
+let form_barrier t ~limit exact =
+  (* Start from scratch: events before this barrier may predate the hook
+     installation or concern the other phase's predicate. *)
+  Array.fill t.form_dirty 0 (Array.length t.form_dirty) true;
+  t.form_any_dirty <- true;
+  run_until ~limit t (form_pred t exact)
 
 let start_all t =
   Array.iter (fun r -> Gcs.Endpoint.start r.endpoint) t.replicas;
   (* Joins must go out on the stable shard ring: a join announced before
      the ring forms is flushed on the node's transient singleton ring and
      the resulting one-member group maps never reconcile. *)
-  run_until ~limit:(Span.of_sec 30) t (fun () -> for_all_shards t ring_formed);
+  form_barrier t ~limit:(Span.of_sec 30) ring_formed;
   Array.iter
     (fun r ->
       let service = r.service and gateway = r.gateway in
+      let shard = r.shard in
       Gcs.Endpoint.join_group r.endpoint t.group ~handler:(fun ev ->
           match ev with
           | Gcs.Endpoint.Deliver { msg; _ } ->
               Cts.Service.on_message service msg
           | Gcs.Endpoint.View_change v ->
+              mark_dirty t shard;
               Cts.Service.on_view service v;
               Hier.Gateway.on_view gateway v
-          | Gcs.Endpoint.Block | Gcs.Endpoint.Evicted -> ()))
+          | Gcs.Endpoint.Block | Gcs.Endpoint.Evicted -> mark_dirty t shard))
     t.replicas;
-  run_until ~limit:(Span.of_sec 30) t (fun () -> for_all_shards t shard_formed)
+  form_barrier t ~limit:(Span.of_sec 30) shard_formed
 
 (* ------------------------------------------------------------------ *)
 (* Readers                                                             *)
@@ -215,6 +282,9 @@ let crash t id =
   let r = t.replicas.(Nid.to_int id) in
   if not r.crashed then begin
     r.crashed <- true;
+    (* the live-member set the formation predicates compare against just
+       changed *)
+    mark_dirty t r.shard;
     Hier.Gateway.crash r.gateway;
     Gcs.Endpoint.crash r.endpoint
   end
@@ -295,6 +365,11 @@ let cross_shard_skew t =
   let skew = spread (shard_estimates t) in
   publish_gauge t "hier_cross_shard_skew_us" (float_of_int (Span.to_us skew));
   skew
+
+let queue_hwm t =
+  let hwm = Dsim.Engine.queue_high_water t.eng in
+  publish_gauge t "event_queue_hwm" (float_of_int hwm);
+  hwm
 
 let neighbor_skew t =
   let est = shard_estimates t in

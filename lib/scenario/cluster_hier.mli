@@ -32,6 +32,12 @@ type t = {
   group : Gcs.Group_id.t;
   reader_period : Dsim.Time.Span.t;
   mutable readers_stopped : bool;
+  form_dirty : bool array;
+      (** per shard: a membership event fired since the formation
+          predicate last looked (internal to {!start_all}'s barriers) *)
+  form_cache : bool array;
+  mutable form_formed : int;
+  mutable form_any_dirty : bool;
 }
 
 val create :
@@ -56,7 +62,11 @@ val create :
 
 val start_all : t -> unit
 (** Start every endpoint and run the simulation until each shard's ring
-    and group membership are complete. *)
+    and group membership are complete.  The completion barriers are
+    event-driven: ring-view/blocked/group-view hooks mark shards dirty
+    and only dirty shards are re-checked, so a quiet engine step costs
+    O(1) instead of the previous O(shards x shard_size^2) poll — the
+    exit step is unchanged. *)
 
 val start_readers : t -> unit
 (** Spawn the periodic clock-reader fiber on every live replica.  Readers
@@ -117,3 +127,9 @@ val regressions : t -> int
 
 val ccs_rounds_completed : t -> int
 (** Reader CCS rounds completed, summed over live replicas. *)
+
+val queue_hwm : t -> int
+(** Event-queue high-water mark of the underlying engine (deepest the
+    queue has been since engine creation) — the backlog-pressure gauge;
+    also published as the [event_queue_hwm] gauge when an obs sink with
+    metrics is attached. *)

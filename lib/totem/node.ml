@@ -33,6 +33,12 @@ type gather_state = {
 
 type recovery_state = {
   commit : Wire.commit;
+  my_rings : (Ring_id.t * (int * int)) list;
+      (* the old rings this node must recover, with their ranges —
+         computed once from the commit instead of re-derived (assoc +
+         filter over [member_old]) on every offer/request/done *)
+  ring_peers : (Ring_id.t * Nid.t list) list;
+      (* members of each of [my_rings]'s old rings, same memoization *)
   offers : (Nid.t, (Ring_id.t * int list) list) Hashtbl.t;
   mutable done_from : Set.t;
   mutable my_done_sent : bool;
@@ -59,6 +65,10 @@ type 'a t = {
          ring's recovery completes, so joins always advertise the ring whose
          messages may still need recovering *)
   mutable members : Nid.t list;
+  mutable succ : Nid.t;
+      (* cached token successor on the current ring — [members] only
+         changes when a ring is installed, so the per-visit linear scan
+         is paid once per view instead of once per token *)
   mutable stores : 'a Store.t Ring_id.Map.t;
   mutable store_memo : (Ring_id.t * 'a Store.t) option;
       (* one-entry cache over [stores]: the hot path (token visits,
@@ -71,6 +81,17 @@ type 'a t = {
   mutable max_gen : int;
   mutable epoch : int; (* bumped on state change; cancels stale timers *)
   mutable token_era : int; (* bumped per accepted token *)
+  mutable token_deadline : Dsim.Time.t;
+      (* the instant the token-loss watchdog declares a loss; every
+         accepted token slides it forward by [token_loss_timeout] with a
+         plain field write.  One self-re-arming watchdog timer per node
+         chases the deadline instead of the previous
+         one-timer-per-token-visit, so a visit queues no loss timer at
+         all while losses are still detected at exactly
+         last-visit + timeout. *)
+  mutable watchdog_ep : int;
+      (* epoch whose watchdog chain is live, [-1] when none — keeps
+         re-installation from stacking a second chain *)
   mutable last_token_seq : int;
   mutable prev_visit_aru : int;
   mutable last_visit_count : int; (* fcc bookkeeping *)
@@ -121,7 +142,6 @@ let after_token t span f =
       if (not (crashed t)) && t.epoch = ep && t.token_era = era then f ())
 
 let bcast t msg = Netsim.Network.broadcast t.net ~src:t.me msg
-let unicast t ~dst msg = Netsim.Network.send t.net ~src:t.me ~dst msg
 
 let out_push t msg =
   let cap = Array.length t.out_buf in
@@ -174,13 +194,11 @@ let drain_deliveries ?upto t =
   match (t.state, t.ring) with
   | Operational, Some r ->
       let s = store_for t r in
-      let rec go () =
+      let lim = match upto with Some u -> u | None -> max_int in
+      let continue = ref true in
+      while !continue do
         match Store.next_to_deliver s with
-        | None -> ()
-        | Some (msg : 'a Wire.regular)
-          when match upto with Some u -> msg.seq > u | None -> false ->
-            ()
-        | Some (msg : 'a Wire.regular) ->
+        | Some (msg : 'a Wire.regular) when msg.seq <= lim ->
             Store.set_delivered s msg.seq;
             t.stat_delivered <- t.stat_delivered + 1;
             t.handler
@@ -190,10 +208,9 @@ let drain_deliveries ?upto t =
                    seq = msg.seq;
                    sender = msg.sender;
                    payload = msg.payload;
-                 });
-            go ()
-      in
-      go ()
+                 })
+        | _ -> continue := false
+      done
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -297,7 +314,8 @@ and maybe_consensus t g =
           live t.max_gen
       in
       let new_ring = Ring_id.make ~rep:t.me ~gen:(gens + 1) in
-      let members_sorted = List.sort Nid.compare (Set.elements live) in
+      (* [Set.elements] is already ascending in [Nid.compare] order *)
+      let members_sorted = Set.elements live in
       let member_old =
         List.map (fun p -> (p, (Hashtbl.find g.joins p).Wire.j_old)) members_sorted
       in
@@ -374,7 +392,7 @@ and send_offers t (rs : recovery_state) =
       (fun (r, (lo, hi)) ->
         let s = store_for t r in
         (r, Store.held_in s ~lo ~hi))
-      (my_recovery_rings t c)
+      rs.my_rings
   in
   Hashtbl.replace rs.offers t.me mine;
   List.iter
@@ -410,14 +428,16 @@ and request_missing t (rs : recovery_state) =
         bcast t
           (Wire.Recovery_request
              { r_sender = t.me; new_ring = c.new_ring; r_ring = r; wanted }))
-    (my_recovery_rings t c)
+    rs.my_rings
 
 and check_my_done t (rs : recovery_state) =
   let c = rs.commit in
   let ready =
     List.for_all
       (fun (r, (lo, hi)) ->
-        let peers = ring_members_of c r in
+        let peers =
+          match List.assoc_opt r rs.ring_peers with Some ps -> ps | None -> []
+        in
         let have_offer p =
           match Hashtbl.find_opt rs.offers p with
           | Some offer -> List.mem_assoc r offer
@@ -428,7 +448,7 @@ and check_my_done t (rs : recovery_state) =
         let s = store_for t r in
         let u = union_held rs r in
         IntSet.for_all (fun seq -> seq < lo || seq > hi || Store.has s seq) u)
-      (my_recovery_rings t c)
+      rs.my_rings
   in
   if ready && not rs.my_done_sent then begin
     rs.my_done_sent <- true;
@@ -473,6 +493,7 @@ and maybe_finish_recovery t (rs : recovery_state) =
     t.epoch <- t.epoch + 1;
     t.ring <- Some c.new_ring;
     t.members <- c.members;
+    t.succ <- successor_of c.members t.me;
     t.state <- Operational;
     t.stat_views <- t.stat_views + 1;
     (let s = Dsim.Engine.obs t.eng in
@@ -518,9 +539,12 @@ and install_ring t (c : Wire.commit) =
   t.prev_visit_aru <- 0;
   t.last_visit_count <- 0;
   ignore (store_for t c.new_ring : 'a Store.t);
+  let my_rings = my_recovery_rings t c in
   let rs =
     {
       commit = c;
+      my_rings;
+      ring_peers = List.map (fun (r, _) -> (r, ring_members_of c r)) my_rings;
       offers = Hashtbl.create 8;
       done_from = Set.empty;
       my_done_sent = false;
@@ -575,19 +599,46 @@ and presence_tick t =
 (* Token handling                                                      *)
 
 and arm_token_loss t =
-  after_token t t.cfg.token_loss_timeout (fun () ->
-      match t.state with
-      | Operational ->
-          Log.debug (fun m -> m "%a: token loss" Nid.pp t.me);
-          enter_gather t ~candidates:(Set.of_list t.members) ~prefail:Set.empty
-      | _ -> ())
+  t.token_deadline <-
+    Dsim.Time.add (Dsim.Engine.now t.eng) t.cfg.token_loss_timeout;
+  if t.watchdog_ep <> t.epoch then begin
+    t.watchdog_ep <- t.epoch;
+    watchdog_step t t.epoch
+  end
 
-and successor t =
+and watchdog_step t ep =
+  (* Lazy chase: re-arm a full [token_loss_timeout] from now rather than
+     at the slid deadline.  On a healthy ring the deadline moves every
+     token visit, so chasing it exactly fires a check per rotation per
+     node — at 1000 replicas that alone is ~30% of all queue events.
+     The lazy chain fires once per timeout instead; the price is that a
+     real loss is detected up to one extra timeout after the deadline
+     (bounded, deterministic), which only shifts recovery onset, never
+     outcomes. *)
+  Dsim.Engine.schedule t.eng t.cfg.token_loss_timeout (fun () ->
+      if (not (crashed t)) && t.epoch = ep then
+        match t.state with
+        | Operational ->
+            if Dsim.Time.(Dsim.Engine.now t.eng >= t.token_deadline) then begin
+              if t.watchdog_ep = ep then t.watchdog_ep <- -1;
+              Log.debug (fun m -> m "%a: token loss" Nid.pp t.me);
+              enter_gather t ~candidates:(Set.of_list t.members)
+                ~prefail:Set.empty
+            end
+            else
+              (* tokens arrived since this check was scheduled: the
+                 deadline moved — keep watching *)
+              watchdog_step t ep
+        | _ -> if t.watchdog_ep = ep then t.watchdog_ep <- -1)
+
+and successor_of members me =
   let rec find = function
-    | [] -> List.hd t.members
-    | p :: rest -> if Nid.compare p t.me > 0 then p else find rest
+    | [] -> List.hd members
+    | p :: rest -> if Nid.compare p me > 0 then p else find rest
   in
-  find t.members
+  find members
+
+and successor t = t.succ
 
 and accept_token t (tok : Wire.token) =
   t.token_era <- t.token_era + 1;
@@ -616,23 +667,31 @@ and accept_token t (tok : Wire.token) =
   | Config.Agreed -> drain_deliveries t
   | Config.Safe -> drain_deliveries ~upto:(min prev_aru tok.aru) t);
   (* 1. Retransmit requested messages that we hold. *)
-  let satisfied, still_missing =
-    List.partition (fun seq -> Store.find s seq <> None) tok.rtr
+  (* Fast path for the healthy ring: nothing requested and no local gaps
+     means steps 1-2 are a no-op — skip the list traffic entirely. *)
+  let n_satisfied =
+    match tok.rtr with
+    | [] when Store.aru s >= tok.seq -> 0
+    | _ ->
+        let satisfied, still_missing =
+          List.partition (fun seq -> Store.find s seq <> None) tok.rtr
+        in
+        List.iter
+          (fun seq ->
+            match Store.find s seq with
+            | Some msg ->
+                t.stat_retrans <- t.stat_retrans + 1;
+                out_push t (Wire.Regular msg)
+            | None -> ())
+          satisfied;
+        (* 2. Add our own gaps to the retransmission list. *)
+        let my_missing = Store.missing_up_to s tok.seq in
+        let rtr =
+          List.sort_uniq Int.compare (List.rev_append my_missing still_missing)
+        in
+        tok.rtr <- rtr;
+        List.length satisfied
   in
-  List.iter
-    (fun seq ->
-      match Store.find s seq with
-      | Some msg ->
-          t.stat_retrans <- t.stat_retrans + 1;
-          out_push t (Wire.Regular msg)
-      | None -> ())
-    satisfied;
-  (* 2. Add our own gaps to the retransmission list. *)
-  let my_missing = Store.missing_up_to s tok.seq in
-  let rtr =
-    List.sort_uniq Int.compare (List.rev_append my_missing still_missing)
-  in
-  tok.rtr <- rtr;
   (* 3. Broadcast pending messages under flow control. *)
   let budget = min t.cfg.max_msgs_per_visit (max 0 (t.cfg.window - tok.fcc)) in
   let sent = ref 0 in
@@ -680,33 +739,46 @@ and accept_token t (tok : Wire.token) =
   (match t.cfg.delivery with
   | Config.Agreed -> drain_deliveries t
   | Config.Safe -> drain_deliveries ~upto:(min prev_aru tok.aru) t);
-  (* 7. Forward after the processing hold time. *)
-  let work = !sent + List.length satisfied in
+  (* 7. Forward after the processing hold time.  The hold is a
+     deterministic delay, so the send is committed now with the hold
+     folded into the network delay instead of parked in a timer event —
+     one queue event per hop instead of two.  [tok] is exclusively ours
+     once accepted and this visit was its last mutation, so it is handed
+     to the network directly; a copy is minted only if a retransmission
+     master turns out to be needed (drop path). *)
+  let work = !sent + n_satisfied in
   let hold =
     Dsim.Time.Span.add t.cfg.token_hold
       (Dsim.Time.Span.scale (float_of_int work) t.cfg.per_msg_cost)
   in
   tok.token_seq <- tok.token_seq + 1;
-  (* [tok] is exclusively ours once accepted (every transmission sends a
-     fresh copy), and this visit was its last mutation — so it can serve
-     directly as the retransmission master instead of being copied again
-     here. *)
-  let out = tok in
   let dst = successor t in
-  let era = t.token_era in
-  after t hold (fun () ->
-      if t.token_era = era && is_operational t then begin
-        unicast t ~dst (Wire.Token (Wire.copy_token out));
-        arm_token_retransmit t ~dst out
-      end);
+  let queued =
+    Netsim.Network.send_tracked_after t.net ~delay:hold ~src:t.me ~dst
+      (Wire.Token tok)
+  in
+  (* Arm the hop-recovery timer only when the simulated network actually
+     dropped the send: a delivered token makes our retransmission
+     redundant by construction (the successor's next token bumps our era
+     before the timer matters), so the common lossless path schedules no
+     timer at all.  An unconditional arm would also fire spuriously on
+     rings whose rotation time exceeds [token_retransmit], flooding large
+     rings with stale duplicate tokens. *)
+  if not queued then
+    arm_token_retransmit t ~delay:(Dsim.Time.Span.add hold t.cfg.token_retransmit)
+      ~dst tok;
   arm_token_loss t
 
-and arm_token_retransmit t ~dst out =
-  after_token t t.cfg.token_retransmit (fun () ->
+and arm_token_retransmit t ~delay ~dst out =
+  after_token t delay (fun () ->
       if is_operational t then begin
         Log.debug (fun m -> m "%a: retransmitting token" Nid.pp t.me);
-        unicast t ~dst (Wire.Token (Wire.copy_token out));
-        arm_token_retransmit t ~dst out
+        let queued =
+          Netsim.Network.send_tracked t.net ~src:t.me ~dst
+            (Wire.Token (Wire.copy_token out))
+        in
+        ignore (queued : bool);
+        arm_token_retransmit t ~delay:t.cfg.token_retransmit ~dst out
       end)
 
 and handle_incoming_token t (tok : Wire.token) =
@@ -857,20 +929,57 @@ and on_presence t ~p_sender ~p_ring =
       enter_gather t ~candidates:(Set.singleton p_sender) ~prefail:Set.empty
   | _ -> ()
 
+(* Wall-time attribution: token visits, data receives and each kind of
+   membership/recovery message get their own site — they answer different
+   scale-out questions (steady-state cost vs which phase of formation
+   churn), and the per-kind split is what exposed the join-storm cost at
+   1000 replicas. *)
+let at_token = Obs.Attrib.site ~sub:Obs.Subsystem.Totem ~name:"token"
+let at_regular = Obs.Attrib.site ~sub:Obs.Subsystem.Totem ~name:"regular"
+let at_join = Obs.Attrib.site ~sub:Obs.Subsystem.Totem ~name:"m-join"
+let at_commit = Obs.Attrib.site ~sub:Obs.Subsystem.Totem ~name:"m-commit"
+let at_offer = Obs.Attrib.site ~sub:Obs.Subsystem.Totem ~name:"m-offer"
+let at_request = Obs.Attrib.site ~sub:Obs.Subsystem.Totem ~name:"m-request"
+let at_done = Obs.Attrib.site ~sub:Obs.Subsystem.Totem ~name:"m-done"
+let at_presence = Obs.Attrib.site ~sub:Obs.Subsystem.Totem ~name:"m-presence"
+
 let dispatch t ~src:_ (msg : 'a Wire.t) =
-  if not (crashed t) then
+  if not (crashed t) then begin
+    let s = Dsim.Engine.obs t.eng in
     match msg with
-    | Wire.Regular r -> on_regular t r
-    | Wire.Token tok -> handle_incoming_token t tok
-    | Wire.Join j -> on_join t j
-    | Wire.Commit c -> on_commit t c
+    | Wire.Regular r ->
+        Obs.Sink.attr_enter s at_regular;
+        on_regular t r;
+        Obs.Sink.attr_leave s
+    | Wire.Token tok ->
+        Obs.Sink.attr_enter s at_token;
+        handle_incoming_token t tok;
+        Obs.Sink.attr_leave s
+    | Wire.Join j ->
+        Obs.Sink.attr_enter s at_join;
+        on_join t j;
+        Obs.Sink.attr_leave s
+    | Wire.Commit c ->
+        Obs.Sink.attr_enter s at_commit;
+        on_commit t c;
+        Obs.Sink.attr_leave s
     | Wire.Recovery_offer { o_sender; new_ring; o_ring; held } ->
-        on_offer t ~o_sender ~new_ring ~o_ring ~held
+        Obs.Sink.attr_enter s at_offer;
+        on_offer t ~o_sender ~new_ring ~o_ring ~held;
+        Obs.Sink.attr_leave s
     | Wire.Recovery_request { r_sender = _; new_ring; r_ring; wanted } ->
-        on_request t ~new_ring ~r_ring ~wanted
+        Obs.Sink.attr_enter s at_request;
+        on_request t ~new_ring ~r_ring ~wanted;
+        Obs.Sink.attr_leave s
     | Wire.Recovery_done { d_sender; new_ring; nudge } ->
-        on_done t ~d_sender ~new_ring ~nudge
-    | Wire.Presence { p_sender; p_ring } -> on_presence t ~p_sender ~p_ring
+        Obs.Sink.attr_enter s at_done;
+        on_done t ~d_sender ~new_ring ~nudge;
+        Obs.Sink.attr_leave s
+    | Wire.Presence { p_sender; p_ring } ->
+        Obs.Sink.attr_enter s at_presence;
+        on_presence t ~p_sender ~p_ring;
+        Obs.Sink.attr_leave s
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
@@ -886,12 +995,15 @@ let create eng net ~me ?(config = Config.default) ~handler () =
       state = Idle;
       ring = None;
       members = [];
+      succ = me;
       stores = Ring_id.Map.empty;
       store_memo = None;
       pending = Queue.create ();
       max_gen = 0;
       epoch = 0;
       token_era = 0;
+      token_deadline = Dsim.Time.epoch;
+      watchdog_ep = -1;
       last_token_seq = 0;
       prev_visit_aru = 0;
       last_visit_count = 0;

@@ -1,27 +1,64 @@
+(* Circular-buffer store: the protocol only ever holds a bounded window of
+   messages per ring (flow-control window + one GC rotation of lag), so
+   slots live in a power-of-two array indexed by seq, not a hash table —
+   [add]/[find]/[has] are a mask and a load, which matters at 1000
+   replicas where these run hundreds of thousands of times per simulated
+   second.  A slot holds the message for seq [s] iff [floor < s <= high]
+   and seq [s] was received; growth rehashes in place (rare: only when a
+   ring outruns GC by more than the current capacity). *)
+
 type 'a t = {
-  tbl : (int, 'a Wire.regular) Hashtbl.t;
+  mutable slots : 'a Wire.regular option array; (* index: seq land (cap-1) *)
   mutable aru : int;
   mutable delivered : int;
   mutable high : int;
   mutable floor : int; (* GCed up to here *)
 }
 
-let create () = { tbl = Hashtbl.create 64; aru = 0; delivered = 0; high = 0; floor = 0 }
+let initial_cap = 64 (* power of two *)
 
-let has t seq = seq <= t.floor || Hashtbl.mem t.tbl seq
+let create () =
+  { slots = Array.make initial_cap None;
+    aru = 0; delivered = 0; high = 0; floor = 0 }
+
+let slot t seq = seq land (Array.length t.slots - 1)
+
+let present t seq =
+  seq > t.floor && seq <= t.high
+  && match t.slots.(slot t seq) with
+     | Some (m : 'a Wire.regular) -> m.seq = seq
+     | None -> false
+
+let has t seq = seq <= t.floor || present t seq
+
+let grow t needed =
+  let cap = ref (Array.length t.slots) in
+  while !cap < needed do
+    cap := !cap * 2
+  done;
+  let slots = Array.make !cap None in
+  let mask = !cap - 1 in
+  Array.iter
+    (function
+      | Some (m : 'a Wire.regular) as v when m.seq > t.floor ->
+          slots.(m.seq land mask) <- v
+      | _ -> ())
+    t.slots;
+  t.slots <- slots
 
 let add t (msg : 'a Wire.regular) =
   if has t msg.seq then false
   else begin
-    Hashtbl.replace t.tbl msg.seq msg;
+    if msg.seq - t.floor > Array.length t.slots then grow t (msg.seq - t.floor);
+    t.slots.(slot t msg.seq) <- Some msg;
     if msg.seq > t.high then t.high <- msg.seq;
-    while Hashtbl.mem t.tbl (t.aru + 1) || t.aru + 1 <= t.floor do
+    while present t (t.aru + 1) || t.aru + 1 <= t.floor do
       t.aru <- t.aru + 1
     done;
     true
   end
 
-let find t seq = Hashtbl.find_opt t.tbl seq
+let find t seq = if present t seq then t.slots.(slot t seq) else None
 let aru t = t.aru
 let delivered t = t.delivered
 
@@ -41,7 +78,7 @@ let missing_up_to t hi =
 let held_in t ~lo ~hi =
   let rec collect s acc =
     if s > hi then List.rev acc
-    else collect (s + 1) (if Hashtbl.mem t.tbl s then s :: acc else acc)
+    else collect (s + 1) (if present t s then s :: acc else acc)
   in
   collect (max lo 1) []
 
@@ -49,9 +86,10 @@ let high_seq t = t.high
 
 let gc t ~upto =
   if upto > t.floor then begin
-    for s = t.floor + 1 to upto do
-      Hashtbl.remove t.tbl s
+    for s = t.floor + 1 to min upto t.high do
+      if present t s then t.slots.(slot t s) <- None
     done;
     t.floor <- upto;
-    if t.aru < upto then t.aru <- upto
+    if t.aru < upto then t.aru <- upto;
+    if t.high < upto then t.high <- upto
   end

@@ -252,6 +252,102 @@ let test_random_walks () =
         (List.length report.Mc.Hier_check.violations)
         Mc.Hier_check.pp_violation v
 
+(* ------------------------------------------------------------------ *)
+(* Golden-seed fingerprint (satellite: determinism pin)                *)
+
+(* The exact observable trajectory of a 4x4 cluster on seed 11, pinned
+   value-for-value: formation time, then (cross-shard skew, agreed
+   rounds, regressions, CCS rounds) after each of 25 2ms slices, then
+   each shard gateway's final global round/value.  Any change to the
+   event schedule — an extra packet, a reordered timer, a different RNG
+   draw — shifts this table, so a diff here is a loud, reviewable signal
+   that a change altered behaviour rather than just performance.  When a
+   change intentionally alters the schedule (as perf work on the send
+   paths does), re-capture the table and justify the diff in the PR. *)
+let golden_slices =
+  (* (skew_us, agreed_rounds, regressions, ccs_rounds_completed) *)
+  [|
+    (3000, 0, 0, 16);
+    (3000, 4, 0, 33);
+    (733, 8, 0, 52);
+    (401, 12, 0, 69);
+    (378, 16, 0, 87);
+    (378, 20, 0, 103);
+    (378, 24, 0, 125);
+    (369, 28, 0, 143);
+    (369, 32, 0, 161);
+    (369, 36, 0, 179);
+    (369, 40, 0, 197);
+    (369, 44, 0, 215);
+    (369, 48, 0, 233);
+    (369, 52, 0, 250);
+    (369, 56, 0, 268);
+    (369, 59, 0, 285);
+    (369, 64, 0, 301);
+    (369, 68, 0, 321);
+    (369, 72, 0, 338);
+    (369, 76, 0, 354);
+    (369, 79, 0, 372);
+    (369, 84, 0, 389);
+    (369, 88, 0, 408);
+    (369, 92, 0, 425);
+    (369, 95, 0, 445);
+  |]
+
+(* (gateway id, global round, global value in ns) per shard *)
+let golden_gateways =
+  [| (0, 24, 49_784_000); (4, 24, 49_784_000); (8, 23, 47_784_000);
+     (12, 24, 49_784_000) |]
+
+let test_golden_seed_fingerprint () =
+  let shards = 4 and shard_size = 4 in
+  let topo = Hier.Topology.create ~shards ~shard_size in
+  let clock_config i =
+    {
+      Clock.Hwclock.default_config with
+      offset =
+        Span.of_ms (-1 * Hier.Topology.shard_of topo (Nid.of_int i));
+    }
+  in
+  let t = CH.create ~seed:11L ~clock_config ~shards ~shard_size () in
+  CH.start_all t;
+  check int "formation time (us)" 1203 (Time.to_us (Dsim.Engine.now t.CH.eng));
+  CH.start_readers t;
+  Array.iteri
+    (fun i (skew, agreed, regr, ccs) ->
+      CH.run_for t (Span.of_ms 2);
+      check int
+        (Printf.sprintf "slice %d: skew (us)" i)
+        skew
+        (Span.to_us (CH.cross_shard_skew t));
+      check int (Printf.sprintf "slice %d: agreed rounds" i) agreed
+        (CH.agreed_rounds t);
+      check int (Printf.sprintf "slice %d: regressions" i) regr
+        (CH.regressions t);
+      check int (Printf.sprintf "slice %d: ccs rounds" i) ccs
+        (CH.ccs_rounds_completed t))
+    golden_slices;
+  Array.iteri
+    (fun s (gw, round, value_ns) ->
+      match CH.gateway_of t s with
+      | None -> Alcotest.failf "shard %d: no gateway" s
+      | Some id ->
+          check int (Printf.sprintf "shard %d: gateway" s) gw (Nid.to_int id);
+          let g =
+            Hier.Gateway.global t.CH.replicas.(Nid.to_int id).CH.gateway
+          in
+          check int
+            (Printf.sprintf "shard %d: global round" s)
+            round
+            (Hier.Global_clock.round g);
+          check int
+            (Printf.sprintf "shard %d: global value (ns)" s)
+            value_ns
+            (match Hier.Global_clock.value g with
+            | Some v -> Time.to_ns v
+            | None -> -1))
+    golden_gateways
+
 let suites =
   [
     ( "hier",
@@ -269,5 +365,7 @@ let suites =
         Alcotest.test_case "64-replica smoke" `Slow test_mid_scale_smoke;
         Alcotest.test_case "random walks with gateway crashes" `Slow
           test_random_walks;
+        Alcotest.test_case "golden-seed fingerprint (4x4, seed 11)" `Slow
+          test_golden_seed_fingerprint;
       ] );
   ]

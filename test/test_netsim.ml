@@ -186,6 +186,99 @@ let test_stats_counters () =
   check int "sent" 2 (Net.stats net ~sent:true (n 0));
   check int "delivered" 2 (Net.stats net ~sent:false (n 1))
 
+let test_attach_detach_attach_sorted () =
+  (* The membership array must stay sorted through attach/detach/attach
+     churn (incremental insert, not a wholesale re-sort), and a
+     re-attached node must receive traffic again. *)
+  let eng = Dsim.Engine.create () in
+  let net = constant_net eng 10 in
+  let got = Array.make 6 0 in
+  let attach i = Net.attach net (n i) (fun ~src:_ _ -> got.(i) <- got.(i) + 1) in
+  List.iter attach [ 4; 1; 5; 0; 3; 2 ];
+  check bool "sorted after out-of-order attach" true
+    (Net.nodes net = List.map n [ 0; 1; 2; 3; 4; 5 ]);
+  Net.detach net (n 3);
+  Net.detach net (n 0);
+  check bool "sorted after detach" true
+    (Net.nodes net = List.map n [ 1; 2; 4; 5 ]);
+  attach 3;
+  attach 0;
+  check bool "sorted after re-attach" true
+    (Net.nodes net = List.map n [ 0; 1; 2; 3; 4; 5 ]);
+  Net.broadcast net ~src:(n 1) 42;
+  Dsim.Engine.run eng;
+  check int "re-attached node 3 hears broadcasts" 1 got.(3);
+  check int "re-attached node 0 hears broadcasts" 1 got.(0);
+  check int "sender excluded" 0 got.(1)
+
+let test_partition_mask_after_churn () =
+  (* Group masks must track re-attachment: a node that detaches and
+     re-attaches keeps its partition-group membership (the mask is per
+     node id, not per slot). *)
+  let eng = Dsim.Engine.create () in
+  let net = constant_net eng 10 in
+  let got = Array.make 4 0 in
+  for i = 0 to 3 do
+    Net.attach net (n i) (fun ~src:_ _ -> got.(i) <- got.(i) + 1)
+  done;
+  Net.partition net [ [ n 0; n 1 ]; [ n 2; n 3 ] ];
+  Net.detach net (n 1);
+  Net.attach net (n 1) (fun ~src:_ _ -> got.(1) <- got.(1) + 1);
+  Net.send net ~src:(n 0) ~dst:(n 1) 1;
+  Net.send net ~src:(n 2) ~dst:(n 1) 2;
+  Net.send net ~src:(n 3) ~dst:(n 2) 3;
+  Dsim.Engine.run eng;
+  check int "same-group unicast to re-attached node" 1 got.(1);
+  check int "cross-group unicast still blocked" 1 got.(2);
+  Net.heal net;
+  Net.send net ~src:(n 2) ~dst:(n 1) 4;
+  Dsim.Engine.run eng;
+  check int "heal restores cross traffic" 2 got.(1)
+
+let test_send_tracked_outcomes () =
+  (* [send_tracked] reports the loss outcome the simulator already knows
+     at send time: queued on the clean path, false under loss or across a
+     partition. *)
+  let eng = Dsim.Engine.create () in
+  let net = constant_net eng 10 in
+  Net.attach net (n 0) (fun ~src:_ _ -> ());
+  Net.attach net (n 1) (fun ~src:_ _ -> ());
+  check bool "clean send queued" true
+    (Net.send_tracked net ~src:(n 0) ~dst:(n 1) 1);
+  Net.partition net [ [ n 0 ]; [ n 1 ] ];
+  check bool "partitioned send not queued" false
+    (Net.send_tracked net ~src:(n 0) ~dst:(n 1) 2);
+  Net.heal net;
+  Net.set_loss net 0.5;
+  (* Under loss the report must agree with the drop counter, send by
+     send: false iff the packet was counted dropped. *)
+  let disagreements = ref 0 and drops = ref 0 in
+  for i = 0 to 49 do
+    let before = Net.packets_dropped net in
+    let queued = Net.send_tracked net ~src:(n 0) ~dst:(n 1) i in
+    let dropped = Net.packets_dropped net > before in
+    if queued = dropped then incr disagreements;
+    if dropped then incr drops
+  done;
+  check int "tracked result always matches drop accounting" 0 !disagreements;
+  check bool "loss 0.5 dropped some of 50 sends" true (!drops > 0)
+
+let test_send_tracked_after_delay () =
+  (* The deferred send arrives after delay + latency, and still respects
+     per-path FIFO against a later plain send. *)
+  let eng = Dsim.Engine.create () in
+  let net = constant_net eng 10 in
+  let got = ref [] in
+  Net.attach net (n 0) (fun ~src:_ _ -> ());
+  Net.attach net (n 1) (fun ~src:_ v ->
+      got := (v, Time.to_us (Dsim.Engine.now eng)) :: !got);
+  check bool "deferred send queued" true
+    (Net.send_tracked_after net ~delay:(Span.of_us 40) ~src:(n 0) ~dst:(n 1) 1);
+  Dsim.Engine.run eng;
+  (match !got with
+  | [ (1, at) ] -> check int "arrives at delay + latency" 50 at
+  | _ -> Alcotest.fail "expected exactly one delivery")
+
 let test_double_attach_rejected () =
   let eng = Dsim.Engine.create () in
   let net = constant_net eng 1 in
@@ -370,6 +463,14 @@ let suites =
         Alcotest.test_case "loss" `Quick test_loss_drops_packets;
         Alcotest.test_case "stats" `Quick test_stats_counters;
         Alcotest.test_case "double attach" `Quick test_double_attach_rejected;
+        Alcotest.test_case "attach/detach/attach keeps order" `Quick
+          test_attach_detach_attach_sorted;
+        Alcotest.test_case "partition mask survives churn" `Quick
+          test_partition_mask_after_churn;
+        Alcotest.test_case "send_tracked outcomes" `Quick
+          test_send_tracked_outcomes;
+        Alcotest.test_case "send_tracked_after delay" `Quick
+          test_send_tracked_after_delay;
         Alcotest.test_case "latency positive" `Quick
           test_latency_models_positive;
         Alcotest.test_case "calibrated peak" `Quick
