@@ -1,54 +1,40 @@
 type choice = Take of int | Postpone of Time.Span.t
 
-(* Pooled timer cell.  [schedule t d (fun () -> ...)] allocates a closure
-   per event; the pooled variant [schedule_call t d fn arg] instead parks
-   [(fn, arg)] in a recycled cell whose [c_fire] closure was allocated once
-   when the cell was first created.  Cells link into a per-engine intrusive
-   free list; [c_next == cell] marks a cell not on the list (and the
-   engine's [nil_cell] sentinel marks the empty list — per-engine rather
-   than global so that marshalling an engine keeps the identity test
-   valid).  [Obj.t] erases the argument type: sound because the only reader
-   is the matching [c_fn], stored by the same [schedule_call]. *)
-type cell = {
-  mutable c_fn : Obj.t -> unit;
-  mutable c_arg : Obj.t;
-  mutable c_next : cell;
-  c_fire : unit -> unit;
-}
+(* The event queue's two payload lanes hold [(fn, arg)] directly, typed
+   [Obj.t -> unit] / [Obj.t].  [schedule_call t d fn arg] parks the pair
+   with both types erased; [schedule t d f] parks [(f, ())] — calling a
+   [unit -> unit] closure with the unit immediate is exactly [f ()], so
+   the closure case needs no wrapper.  The erasure is sound because the
+   only reader of an [arg] is the matching [fn] stored by the same push.
+   This replaces the PR 3 pooled record cells: the queue's payload slots
+   (recycled via its free-slot stack) are the pool now, so steady-state
+   scheduling still allocates nothing on the minor heap, without the
+   cell / free-list / per-engine-sentinel machinery. *)
 
 type t = {
-  queue : (unit -> unit) Event_queue.t;
+  queue : (Obj.t -> unit, Obj.t) Event_queue.t;
   mutable now : Time.t;
   rng : Rng.t;
   mutable stopped : bool;
   mutable scheduler : (ready:int -> choice) option;
-  nil_cell : cell;
-  mutable free_cells : cell;
   mutable obs : Obs.Sink.t;
   mutable steps : int;
       (* events executed since creation: one plain increment per event,
          so event-rate accounting needs no obs sink *)
 }
 
-let obj_ignore (_ : Obj.t) = ()
-let obj_zero = Obj.repr 0
+let unit_arg = Obj.repr ()
 
-let make_nil_cell () =
-  let rec c =
-    { c_fn = obj_ignore; c_arg = obj_zero; c_next = c; c_fire = ignore }
-  in
-  c
+let erase_thunk (f : unit -> unit) : Obj.t -> unit = Obj.magic f
+let erase_fn (type a) (fn : a -> unit) : Obj.t -> unit = Obj.magic fn
 
 let create ?(seed = 1L) () =
-  let nil_cell = make_nil_cell () in
   {
     queue = Event_queue.create ();
     now = Time.epoch;
     rng = Rng.create seed;
     stopped = false;
     scheduler = None;
-    nil_cell;
-    free_cells = nil_cell;
     obs = Obs.Sink.inactive ();
     steps = 0;
   }
@@ -80,83 +66,49 @@ let schedule_at t at f =
     invalid_arg
       (Format.asprintf "Engine.schedule_at: %a is before now (%a)" Time.pp at
          Time.pp t.now);
-  Event_queue.push t.queue at f
+  Event_queue.push t.queue at (erase_thunk f) unit_arg
 
 let schedule t d f =
   let d = if Time.Span.is_negative d then Time.Span.zero else d in
-  Event_queue.push t.queue (Time.add t.now d) f
+  Event_queue.push t.queue (Time.add t.now d) (erase_thunk f) unit_arg
 
-(* Pop a cell off the free list, or mint one.  Minting allocates the cell
-   and its [c_fire] closure exactly once; every later trip through the
-   pool is allocation-free. *)
-let acquire t =
-  let c = t.free_cells in
-  if
-    (c != t.nil_cell)
-    [@ctslint.allow
-      "phys-equality"
-        "pooled nil sentinel: cell identity, not contents, marks the empty \
-         free list (Marshal-safe because the sentinel is per-engine)"]
-  then begin
-    t.free_cells <- c.c_next;
-    c.c_next <- c;
-    c
-  end
-  else begin
-    let rec cell =
-      { c_fn = obj_ignore; c_arg = obj_zero; c_next = cell; c_fire = fire }
-    and fire () =
-      let fn = cell.c_fn and arg = cell.c_arg in
-      (* Scrub and release before calling: the payload must not outlive
-         the event (it may hold a large graph), and releasing first lets
-         [fn] itself schedule into this very cell. *)
-      cell.c_fn <- obj_ignore;
-      cell.c_arg <- obj_zero;
-      cell.c_next <- t.free_cells;
-      t.free_cells <- cell;
-      fn arg
-    in
-    cell
-  end
-
-let fill_cell (type a) t (fn : a -> unit) (arg : a) =
-  let c = acquire t in
-  c.c_fn <- (Obj.magic fn : Obj.t -> unit);
-  c.c_arg <- Obj.repr arg;
-  c.c_fire
-
-let schedule_call t d fn arg =
+let schedule_call (type a) t d (fn : a -> unit) (arg : a) =
   let d = if Time.Span.is_negative d then Time.Span.zero else d in
-  Event_queue.push t.queue (Time.add t.now d) (fill_cell t fn arg)
+  Event_queue.push t.queue (Time.add t.now d) (erase_fn fn) (Obj.repr arg)
 
-let schedule_call_at t at fn arg =
+let schedule_call_at (type a) t at (fn : a -> unit) (arg : a) =
   if Time.(at < t.now) then
     invalid_arg
       (Format.asprintf "Engine.schedule_call_at: %a is before now (%a)" Time.pp
          at Time.pp t.now);
-  Event_queue.push t.queue at (fill_cell t fn arg)
+  Event_queue.push t.queue at (erase_fn fn) (Obj.repr arg)
 
 let run_event t = function
   | None -> false
-  | Some (at, f) ->
+  | Some (at, fn, arg) ->
       t.now <- at;
       t.steps <- t.steps + 1;
       probe_step t at;
-      f ();
+      fn arg;
       true
+
+(* Advance the clock / counters and fire the head event.  Caller
+   guarantees the queue is non-empty.  One emptiness test, one root read,
+   no option or tuple: the per-event fast path everywhere below. *)
+let fire_head t =
+  let at = Event_queue.min_time_exn t.queue in
+  t.now <- at;
+  t.steps <- t.steps + 1;
+  probe_step t at;
+  Event_queue.fire_min_exn t.queue
+[@@inline]
 
 let step t =
   match t.scheduler with
   | None ->
-      (* Fast path: no option/tuple per event. *)
       if Event_queue.is_empty t.queue then false
       else begin
-        let at = Event_queue.min_time_exn t.queue in
-        let f = Event_queue.pop_min_exn t.queue in
-        t.now <- at;
-        t.steps <- t.steps + 1;
-        probe_step t at;
-        f ();
+        fire_head t;
         true
       end
   | Some hook -> (
@@ -167,33 +119,26 @@ let step t =
           | Take 0 ->
               (* [Take 0] is the default schedule: identical to the plain
                  pop, so it gets the same allocation-free fast path. *)
-              let at = Event_queue.min_time_exn t.queue in
-              let f = Event_queue.pop_min_exn t.queue in
-              t.now <- at;
-              t.steps <- t.steps + 1;
-              probe_step t at;
-              f ();
+              fire_head t;
               true
           | Take i -> run_event t (Event_queue.pop_nth t.queue i)
           | Postpone d -> (
               match Event_queue.pop t.queue with
               | None -> false
-              | Some (at, f) ->
+              | Some (at, fn, arg) ->
                   (* Deferring re-enqueues the head strictly later; virtual
                      time stays monotone because [at >= t.now] already. *)
                   let d =
                     if Time.Span.(d <= Time.Span.zero) then Time.Span.of_ns 1
                     else d
                   in
-                  Event_queue.push t.queue (Time.add at d) f;
+                  Event_queue.push t.queue (Time.add at d) fn arg;
                   true)))
 
 (* Hook-free inner loop: one emptiness test and one [min_time_exn] per
-   event, shared between the horizon check and the pop (the previous
-   version's separate [horizon_ok] re-scanned the queue head each
-   iteration on top of [step]'s own inspection).  The horizon test is
-   hoisted out of the loop: the unbounded case — every [Engine.run] and
-   the whole explorer hot path — pays no per-event option match. *)
+   event, shared between the horizon check and the pop.  The horizon test
+   is hoisted out of the loop: the unbounded case — every [Engine.run]
+   and the whole explorer hot path — pays no per-event option match. *)
 let run_plain t ~horizon budget =
   match horizon with
   | None ->
@@ -201,12 +146,7 @@ let run_plain t ~horizon budget =
       while
         (not t.stopped) && !n > 0 && not (Event_queue.is_empty t.queue)
       do
-        let at = Event_queue.min_time_exn t.queue in
-        let f = Event_queue.pop_min_exn t.queue in
-        t.now <- at;
-        t.steps <- t.steps + 1;
-        probe_step t at;
-        f ();
+        fire_head t;
         decr n
       done;
       budget := !n
@@ -215,17 +155,11 @@ let run_plain t ~horizon budget =
       while !continue do
         if t.stopped || !budget <= 0 || Event_queue.is_empty t.queue then
           continue := false
+        else if Time.(Event_queue.min_time_exn t.queue > h) then
+          continue := false
         else begin
-          let at = Event_queue.min_time_exn t.queue in
-          if Time.(at > h) then continue := false
-          else begin
-            let f = Event_queue.pop_min_exn t.queue in
-            t.now <- at;
-            t.steps <- t.steps + 1;
-            probe_step t at;
-            f ();
-            decr budget
-          end
+          fire_head t;
+          decr budget
         end
       done
 

@@ -46,10 +46,11 @@ val schedule : t -> Time.span -> (unit -> unit) -> unit
 val schedule_call : t -> Time.span -> ('a -> unit) -> 'a -> unit
 (** [schedule_call t d fn arg] runs [fn arg] after delay [d] (clipped to
     be >= 0).  Unlike {!schedule} with a closure built at the call site,
-    the [(fn, arg)] pair is parked in a pooled cell recycled across
-    events, so steady-state scheduling allocates nothing on the minor
-    heap.  Pass a top-level (or otherwise preallocated) [fn] to get the
-    full benefit; a fresh closure for [fn] reintroduces the allocation. *)
+    the [(fn, arg)] pair is parked directly in the event queue's payload
+    lanes (recycled slots), so steady-state scheduling allocates nothing
+    on the minor heap.  Pass a top-level (or otherwise preallocated) [fn]
+    to get the full benefit; a fresh closure for [fn] reintroduces the
+    allocation. *)
 
 val schedule_call_at : t -> Time.t -> ('a -> unit) -> 'a -> unit
 (** Absolute-time variant of {!schedule_call}.  Raises [Invalid_argument]

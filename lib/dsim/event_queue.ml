@@ -1,93 +1,98 @@
-(* Unboxed 4-ary min-heap: three parallel arrays instead of an
-   ['a entry option array].  [at] and [seq] hold immediates, so a push
-   allocates nothing (the old layout boxed an [entry] inside an [option]
-   per element — one allocation and two indirections on every comparison)
-   and sifting compares against flat array slots.
+(* Struct-of-arrays 4-ary min-heap.  The heap proper is three parallel
+   [int] arrays — [at] (instant), [seq] (insertion order), [pidx]
+   (payload-slot index) — so every sift step moves three immediates
+   through arrays the compiler knows are unboxed: no write barrier, no
+   pointer chasing, and the displaced element rides in registers.
 
-   Arity 4 rather than 2: the engine's workload is pop-heavy (every pop
-   sifts the displaced last element down from the root), and a 4-ary
-   heap halves the sift depth — half the 3-field copies and half the
-   dependent cache misses — at the cost of up to three extra compares
-   per level, which hit the same cache lines the copy touches anyway.
-   The pop order is the strict [(at, seq)] minimum either way, so heap
-   arity is unobservable through the interface.
+   Payloads live OUTSIDE the heap, in two parallel lanes ([pfn]/[pv])
+   indexed by a stable slot number that never moves while the entry
+   sifts.  A slot is claimed from a free-slot stack on push and returned
+   on pop, so the payload lanes double as the event-cell pool: steady
+   state (push rate = pop rate) allocates nothing on the minor heap, and
+   the two caml_modify calls per event (writing the payload pair) happen
+   exactly once, at push — the sift loops touch only int arrays.  This
+   replaces both the previous single boxed payload lane and the engine's
+   pooled record cells (PR 3): the (fn, arg) pair the engine used to park
+   in a recycled cell is now just the two payload lanes.
 
-   The arrays double as the event-cell pool: slots are never freed, only
-   vacated and overwritten by later pushes, so a queue in steady state
-   (push rate = pop rate) allocates nothing on the minor heap.  Sifting is
-   hole-based — the moving element rides in registers and each visited
-   level does one 3-field copy instead of a 6-field swap — and all slot
-   accesses inside the sift loops use unsafe reads/writes (indices are
-   bounded by [size], which the loops maintain).
+   Arity 4 rather than 2: the workload is pop-heavy (every pop sifts the
+   displaced last element down from the root), and a 4-ary heap halves
+   the sift depth at the cost of up to three extra int compares per
+   level, which hit the same cache lines anyway.  Pop order is the strict
+   [(at, seq)] minimum either way, so heap arity is unobservable.
 
-   Slots at index >= size are junk: [ev] slots are scrubbed with [nil]
-   when vacated so popped payloads do not survive their pop. *)
+   [at] is [Time.t = private int]; the [:> int] coercions below are free
+   and let the sift loops compare instants as naked ints instead of
+   calling [Time.compare] per level.
 
-type 'a t = {
-  mutable at : Time.t array;
+   Slots at heap index >= size are junk; payload slots are scrubbed with
+   [nil] when vacated so popped payloads do not survive their pop. *)
+
+type ('f, 'v) t = {
+  mutable at : int array;
   mutable seq : int array;
-  mutable ev : 'a array;
+  mutable pidx : int array;
+  mutable pfn : 'f array; (* payload lane 1, by slot *)
+  mutable pv : 'v array; (* payload lane 2, by slot *)
+  mutable free : int array; (* stack of free payload slots *)
+  mutable nfree : int;
   mutable size : int;
   mutable next_seq : int;
   mutable hwm : int;
       (* deepest the queue has ever been: backlog pressure at a glance *)
 }
 
-(* Written into dead [ev] slots, never read.  Storing an immediate in a
-   pointer array is always sound. *)
+(* Written into dead payload slots, never read.  Storing an immediate in
+   a pointer array is always sound. *)
 let nil : unit -> 'a = fun () -> Obj.magic 0
 
 let create ?(capacity = 0) () =
-  if capacity = 0 then
-    { at = [||]; seq = [||]; ev = [||]; size = 0; next_seq = 0; hwm = 0 }
-  else
-    {
-      at = Array.make capacity Time.epoch;
-      seq = Array.make capacity 0;
-      ev = Array.make capacity (nil ());
-      size = 0;
-      next_seq = 0;
-      hwm = 0;
-    }
+  {
+    at = Array.make capacity 0;
+    seq = Array.make capacity 0;
+    pidx = Array.make capacity 0;
+    pfn = Array.make capacity (nil ());
+    pv = Array.make capacity (nil ());
+    free = Array.init capacity (fun i -> capacity - 1 - i);
+    nfree = capacity;
+    size = 0;
+    next_seq = 0;
+    hwm = 0;
+  }
 
-(* (at, seq) earlier than slot [j]: primary key time, tie-break
-   insertion order. *)
-let lt_slot h at seq j =
-  match Time.compare at (Array.unsafe_get h.at j) with
-  | 0 -> seq < Array.unsafe_get h.seq j
-  | c -> c < 0
+(* (at, seq) earlier than heap slot [j]: primary key time, tie-break
+   insertion order.  Pure int compares, inlined. *)
+let lt_slot h (at : int) seq j =
+  let aj = Array.unsafe_get h.at j in
+  at < aj || (at = aj && seq < Array.unsafe_get h.seq j)
 
-let set_slot h i at seq ev =
+let set_slot h i at seq pidx =
   Array.unsafe_set h.at i at;
   Array.unsafe_set h.seq i seq;
-  Array.unsafe_set h.ev i ev
+  Array.unsafe_set h.pidx i pidx
 
 let copy_slot h ~src ~dst =
   Array.unsafe_set h.at dst (Array.unsafe_get h.at src);
   Array.unsafe_set h.seq dst (Array.unsafe_get h.seq src);
-  Array.unsafe_set h.ev dst (Array.unsafe_get h.ev src)
+  Array.unsafe_set h.pidx dst (Array.unsafe_get h.pidx src)
 
 (* Float the hole at [i] towards the root until [(at, seq)] fits, then
    drop the element in. *)
-let rec sift_up h i at seq ev =
+let rec sift_up h i at seq pidx =
   if i > 0 then begin
     let parent = (i - 1) / 4 in
     if lt_slot h at seq parent then begin
       copy_slot h ~src:parent ~dst:i;
-      sift_up h parent at seq ev
+      sift_up h parent at seq pidx
     end
-    else set_slot h i at seq ev
+    else set_slot h i at seq pidx
   end
-  else set_slot h i at seq ev
+  else set_slot h i at seq pidx
 
-(* [i] earlier than [j], both known < size.  Same order as [lt] with
-   unsafe reads for the sift loop. *)
+(* [i] earlier than [j], both known < size. *)
 let lt_u h i j =
-  match
-    Time.compare (Array.unsafe_get h.at i) (Array.unsafe_get h.at j)
-  with
-  | 0 -> Array.unsafe_get h.seq i < Array.unsafe_get h.seq j
-  | c -> c < 0
+  let ai = Array.unsafe_get h.at i and aj = Array.unsafe_get h.at j in
+  ai < aj || (ai = aj && Array.unsafe_get h.seq i < Array.unsafe_get h.seq j)
 
 (* Smallest of the up-to-four children starting at [c0]; caller
    guarantees [c0 < size].  Unrolled so no [ref] cell is allocated. *)
@@ -102,69 +107,106 @@ let min_child h c0 =
   if j < sz && lt_u h j s then j else s
 
 (* Sink the hole at [i] towards the leaves until [(at, seq)] fits. *)
-let rec sift_down h i at seq ev =
+let rec sift_down h i at seq pidx =
   let c0 = (4 * i) + 1 in
-  if c0 >= h.size then set_slot h i at seq ev
+  if c0 >= h.size then set_slot h i at seq pidx
   else begin
     let smallest = min_child h c0 in
-    if lt_slot h at seq smallest then set_slot h i at seq ev
+    if lt_slot h at seq smallest then set_slot h i at seq pidx
     else begin
       copy_slot h ~src:smallest ~dst:i;
-      sift_down h smallest at seq ev
+      sift_down h smallest at seq pidx
     end
   end
 
-let grow h fill =
+let grow h fill_fn fill_v =
   let cap = Array.length h.at in
   let cap' = if cap = 0 then 64 else 2 * cap in
-  let at = Array.make cap' Time.epoch in
-  let seq = Array.make cap' 0 in
-  let ev = Array.make cap' fill in
-  Array.blit h.at 0 at 0 h.size;
-  Array.blit h.seq 0 seq 0 h.size;
-  Array.blit h.ev 0 ev 0 h.size;
-  h.at <- at;
-  h.seq <- seq;
-  h.ev <- ev
+  let int_grow a = Array.append a (Array.make (cap' - cap) 0) in
+  h.at <- int_grow h.at;
+  h.seq <- int_grow h.seq;
+  h.pidx <- int_grow h.pidx;
+  let pfn = Array.make cap' fill_fn in
+  Array.blit h.pfn 0 pfn 0 cap;
+  h.pfn <- pfn;
+  let pv = Array.make cap' fill_v in
+  Array.blit h.pv 0 pv 0 cap;
+  h.pv <- pv;
+  (* new payload slots cap .. cap'-1 all start free *)
+  let free = Array.make cap' 0 in
+  Array.blit h.free 0 free 0 h.nfree;
+  for s = cap to cap' - 1 do
+    free.(h.nfree + s - cap) <- s
+  done;
+  h.free <- free;
+  h.nfree <- h.nfree + (cap' - cap)
 
-let push h at ev =
-  if h.size = Array.length h.at then grow h ev;
+let push h (at : Time.t) fn v =
+  if h.size = Array.length h.at then grow h fn v;
+  (* claim a payload slot; the free stack is non-empty whenever
+     size < capacity, because live slots and free slots partition
+     [0, capacity) *)
+  let nf = h.nfree - 1 in
+  h.nfree <- nf;
+  let slot = Array.unsafe_get h.free nf in
+  Array.unsafe_set h.pfn slot fn;
+  Array.unsafe_set h.pv slot v;
   let i = h.size in
   let seq = h.next_seq in
   h.next_seq <- seq + 1;
   h.size <- i + 1;
   if h.size > h.hwm then h.hwm <- h.size;
-  sift_up h i at seq ev
+  sift_up h i (at :> int) seq slot
 
 let min_time_exn h =
   if h.size = 0 then invalid_arg "Event_queue.min_time_exn: empty";
-  h.at.(0)
+  (Obj.magic (Array.unsafe_get h.at 0 : int) : Time.t)
+(* sound: Time.t = private int, and slot 0 was stored from a Time.t *)
 
-(* Remove the root without materializing an option or a tuple — the
-   engine's per-event fast path. *)
-let pop_min_exn h =
-  if h.size = 0 then invalid_arg "Event_queue.pop_min_exn: empty";
-  let ev = Array.unsafe_get h.ev 0 in
+(* Release the root's payload slot (scrubbing both lanes) and restore the
+   heap invariant.  Shared tail of every pop flavour. *)
+let drop_min h slot =
+  Array.unsafe_set h.pfn slot (nil ());
+  Array.unsafe_set h.pv slot (nil ());
+  Array.unsafe_set h.free h.nfree slot;
+  h.nfree <- h.nfree + 1;
   let last = h.size - 1 in
   h.size <- last;
-  if last > 0 then begin
-    let lat = Array.unsafe_get h.at last in
-    let lseq = Array.unsafe_get h.seq last in
-    let lev = Array.unsafe_get h.ev last in
-    Array.unsafe_set h.ev last (nil ());
-    sift_down h 0 lat lseq lev
-  end
-  else Array.unsafe_set h.ev 0 (nil ());
-  ev
+  if last > 0 then
+    sift_down h 0
+      (Array.unsafe_get h.at last)
+      (Array.unsafe_get h.seq last)
+      (Array.unsafe_get h.pidx last)
+
+(* Remove the earliest event and call [fn v] — the engine's per-event
+   fast path.  The entry is removed (and its slot scrubbed and freed)
+   before the call, so the callback may push into this very queue, and
+   the payload does not outlive the event. *)
+let fire_min_exn h =
+  if h.size = 0 then invalid_arg "Event_queue.fire_min_exn: empty";
+  let slot = Array.unsafe_get h.pidx 0 in
+  let fn = Array.unsafe_get h.pfn slot in
+  let v = Array.unsafe_get h.pv slot in
+  drop_min h slot;
+  fn v
+
+let pop_min_exn h =
+  if h.size = 0 then invalid_arg "Event_queue.pop_min_exn: empty";
+  let slot = Array.unsafe_get h.pidx 0 in
+  let fn = Array.unsafe_get h.pfn slot in
+  let v = Array.unsafe_get h.pv slot in
+  drop_min h slot;
+  (fn, v)
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let at = h.at.(0) in
-    Some (at, pop_min_exn h)
+    let at = min_time_exn h in
+    let fn, v = pop_min_exn h in
+    Some (at, fn, v)
   end
 
-let peek_time h = if h.size = 0 then None else Some h.at.(0)
+let peek_time h = if h.size = 0 then None else Some (min_time_exn h)
 let length h = h.size
 let is_empty h = h.size = 0
 let high_water h = h.hwm
@@ -174,69 +216,67 @@ let reset_high_water h = h.hwm <- h.size
    time forces all its ancestors to the minimum too), so counting can
    prune every subtree whose root is later: O(ready), not O(size). *)
 let rec count_eq h at i acc =
-  if i >= h.size || Time.compare h.at.(i) at <> 0 then acc
+  if i >= h.size || h.at.(i) <> at then acc
   else
     let c = 4 * i in
     count_eq h at (c + 4)
       (count_eq h at (c + 3)
          (count_eq h at (c + 2) (count_eq h at (c + 1) (acc + 1))))
 
-let ready_count h =
-  if h.size = 0 then 0 else count_eq h h.at.(0) 0 0
+let ready_count h = if h.size = 0 then 0 else count_eq h h.at.(0) 0 0
 
 (* Remove the entry at heap index [i], restoring the heap invariant.  The
    element moved into the hole may need to travel either direction. *)
 let remove_index h i =
-  let ev = h.ev.(i) in
+  let slot = h.pidx.(i) in
+  let fn = h.pfn.(slot) in
+  let v = h.pv.(slot) in
+  h.pfn.(slot) <- nil ();
+  h.pv.(slot) <- nil ();
+  h.free.(h.nfree) <- slot;
+  h.nfree <- h.nfree + 1;
   let last = h.size - 1 in
   h.size <- last;
   if i < last then begin
-    let lat = h.at.(last) and lseq = h.seq.(last) and lev = h.ev.(last) in
-    h.ev.(last) <- nil ();
+    let lat = h.at.(last) and lseq = h.seq.(last) and lp = h.pidx.(last) in
     (* The displaced element may belong above or below the hole; try the
        downward direction first, and if it never moved, float it up. *)
-    sift_down h i lat lseq lev;
-    if
-      (h.at.(i) == lat && h.seq.(i) == lseq)
-      [@ctslint.allow
-        "phys-equality"
-          "immediate ints from the unboxed heap arrays: == is = without \
-           the polymorphic-compare call on the sift hot path"]
-    then begin
-      (* still in the hole: may need to travel up *)
-      sift_up h i lat lseq lev
-    end
-  end
-  else h.ev.(last) <- nil ();
-  ev
+    sift_down h i lat lseq lp;
+    if h.at.(i) = lat && h.seq.(i) = lseq then sift_up h i lat lseq lp
+  end;
+  (fn, v)
 
 (* Indices of the ready set, pruned like [count_eq]; order unspecified. *)
 let rec ready_indices h at i acc =
-  if i >= h.size || Time.compare h.at.(i) at <> 0 then acc
+  if i >= h.size || h.at.(i) <> at then acc
   else
     let c = 4 * i in
     ready_indices h at (c + 4)
       (ready_indices h at (c + 3)
-         (ready_indices h at (c + 2)
-            (ready_indices h at (c + 1) (i :: acc))))
+         (ready_indices h at (c + 2) (ready_indices h at (c + 1) (i :: acc))))
 
 let pop_nth h n =
   if h.size = 0 then None
   else if n <= 0 then pop h
   else begin
-    let at = h.at.(0) in
+    let at = min_time_exn h in
     let by_seq =
       List.sort
         (fun a b -> compare h.seq.(a) h.seq.(b))
-        (ready_indices h at 0 [])
+        (ready_indices h (h.at.(0)) 0 [])
     in
     let n = min n (List.length by_seq - 1) in
-    Some (at, remove_index h (List.nth by_seq n))
+    let fn, v = remove_index h (List.nth by_seq n) in
+    Some (at, fn, v)
   end
 
 let clear h =
   let n = nil () in
   for i = 0 to h.size - 1 do
-    h.ev.(i) <- n
+    let slot = h.pidx.(i) in
+    h.pfn.(slot) <- n;
+    h.pv.(slot) <- n;
+    h.free.(h.nfree) <- slot;
+    h.nfree <- h.nfree + 1
   done;
   h.size <- 0

@@ -5,11 +5,16 @@
     by accident.  All arithmetic is exact; there is no floating-point
     rounding anywhere in the simulated clock plane. *)
 
-type t
-(** An absolute instant on the simulation time line. *)
+type t = private int
+(** An absolute instant on the simulation time line.  The representation
+    (an integer nanosecond count) is exposed read-only so that hot-path
+    consumers — the event queue's sift loops above all — can compare
+    instants as immediate ints without a cross-module call; construction
+    still has to go through the smart constructors below. *)
 
-type span
-(** A (possibly negative) duration. *)
+type span = private int
+(** A (possibly negative) duration.  Read-only representation for the
+    same reason as {!t}. *)
 
 (** {1 Instants} *)
 

@@ -246,6 +246,9 @@ let run ?(spec = Controller.default_spec) cfg =
 type projection = { p_replicas : int; p_latency_us : int; p_skew : bool }
 
 type reusable = {
+  mutable diff : (world * Snap.t) option;
+      (* live world + dirty-set snapshot: the fast path.  [None] = the
+         world holds state [Snap] cannot rewind (or the probe said so) *)
   mutable template : Bytes.t option; (* [None] = fall back to fresh runs *)
   mutable proj : projection;
 }
@@ -300,7 +303,81 @@ let reseed ((cluster, _) : world) cfg =
         (Dsim.Rng.state (Dsim.Rng.split er)))
     cluster.Cluster.nodes
 
-let reusable cfg = { template = make_template cfg; proj = projection cfg }
+(* Diff-based reuse: keep ONE live world and rewind it between runs with
+   [Snap.restore] instead of rebuilding it from marshalled bytes.  The
+   snapshot layer cannot rewind every block (Bigarray RNG customs above
+   all — those go through [reseed] — but also any mutable state it does
+   not know how to walk), so a snapshot is only trusted after a
+   verification probe: run a short measurement on the pristine world,
+   restore + reseed, run it again, and demand bit-identical fingerprints.
+   A world whose restore is lossy fails the probe and drops to the
+   marshal template; correctness never depends on [Snap] completeness. *)
+
+let probe_cfg cfg =
+  {
+    cfg with
+    rounds = 2;
+    crash_at_round = None;
+    bug = None;
+    record_packets = false;
+    sink = None;
+  }
+
+let make_diff cfg =
+  (try
+     let world = build_world cfg in
+     if not (split_order_holds cfg world) then None
+     else begin
+       let snap = Snap.capture world in
+       let pcfg = probe_cfg cfg in
+       reseed world pcfg;
+       let _, fresh = measure world ~spec:Controller.default_spec pcfg in
+       ignore (Snap.restore snap : int);
+       reseed world pcfg;
+       let _, again = measure world ~spec:Controller.default_spec pcfg in
+       if
+         fresh.fingerprint = again.fingerprint
+         && fresh.steps = again.steps
+         && fresh.packets = again.packets
+       then begin
+         (* leave the world pristine for its first real run *)
+         ignore (Snap.restore snap : int);
+         Some (world, snap)
+       end
+       else None
+     end
+   with _ -> None)
+  [@ctslint.allow
+    "exn-swallow"
+      "a world the snapshot layer cannot capture or replay only disables \
+       the diff fast path; the marshal template and fresh construction \
+       are the result-identical fallbacks"]
+
+(* When the diff path verified, marshal the same (restored-pristine)
+   world as the backup template instead of building a second world. *)
+let make_both cfg =
+  match make_diff cfg with
+  | Some (world, _) as diff ->
+      let template =
+        (try Some (Marshal.to_bytes world [ Marshal.Closures ])
+         with _ -> None)
+        [@ctslint.allow
+          "exn-swallow"
+            "marshalling failure only loses the backup template; the diff \
+             path (already verified) still serves runs"]
+      in
+      (diff, template)
+  | None -> (None, make_template cfg)
+
+let reusable cfg =
+  let diff, template = make_both cfg in
+  { diff; template; proj = projection cfg }
+
+let reuse_mode r =
+  match (r.diff, r.template) with
+  | Some _, _ -> `Diff
+  | None, Some _ -> `Marshal
+  | None, None -> `Fresh
 
 let same_projection a b =
   (* Monomorphic on purpose: checked once per run. *)
@@ -311,29 +388,39 @@ let same_projection a b =
 let reset r cfg =
   if not (same_projection (projection cfg) r.proj) then begin
     r.proj <- projection cfg;
-    r.template <- make_template cfg
+    let diff, template = make_both cfg in
+    r.diff <- diff;
+    r.template <- template
   end;
-  r.template <> None
+  r.diff <> None || r.template <> None
+
+let run_marshal r ~spec cfg =
+  match r.template with
+  | Some template -> (
+      match
+        (try
+           let world : world = Marshal.from_bytes template 0 in
+           reseed world cfg;
+           Some world
+         with _ ->
+           (* Unmarshalling failed: disable reuse for this projection. *)
+           r.template <- None;
+           None)
+        [@ctslint.allow
+          "exn-swallow"
+            "unmarshalling failure disables reuse for this projection; \
+             Harness.run is the result-identical fallback"]
+      with
+      | Some world -> measure world ~spec cfg
+      | None -> run ~spec cfg)
+  | None -> run ~spec cfg
 
 let run_reused r ?(spec = Controller.default_spec) cfg =
   if reset r cfg then
-    match r.template with
-    | Some template -> (
-        match
-          (try
-             let world : world = Marshal.from_bytes template 0 in
-             reseed world cfg;
-             Some world
-           with _ ->
-             (* Unmarshalling failed: disable reuse for this projection. *)
-             r.template <- None;
-             None)
-          [@ctslint.allow
-            "exn-swallow"
-              "unmarshalling failure disables reuse for this projection; \
-               Harness.run is the result-identical fallback"]
-        with
-        | Some world -> measure world ~spec cfg
-        | None -> run ~spec cfg)
-    | None -> run ~spec cfg
+    match r.diff with
+    | Some (world, snap) ->
+        ignore (Snap.restore snap : int);
+        reseed world cfg;
+        measure world ~spec cfg
+    | None -> run_marshal r ~spec cfg
   else run ~spec cfg

@@ -63,12 +63,22 @@ val run : ?spec:Controller.spec -> config -> Invariant.outcome * info
     sound because startup never draws from any random stream — it only
     splits them in a fixed order, so the post-startup state is
     seed-independent and the streams can be rewound to any seed
-    afterwards.  That invariant is verified when the snapshot is taken;
-    if it (or the snapshot itself) fails, the reusable silently falls
-    back to fresh construction, so {!run_reused} always returns exactly
-    what {!run} would. *)
+    afterwards.
+
+    Two snapshot mechanisms are kept, fastest-first: a {!Snap} dirty-set
+    rewind of the live world (no allocation, no rebuild — trusted only
+    after a verification probe proved restore + reseed replays a pristine
+    run bit-for-bit) and the marshalled template it falls back to.  If
+    both fail, the reusable silently falls back to fresh construction —
+    so {!run_reused} always returns exactly what {!run} would. *)
 
 type reusable
+
+val reuse_mode : reusable -> [ `Diff | `Marshal | `Fresh ]
+(** Which mechanism the next {!run_reused} will use: [`Diff] = dirty-set
+    restore of the live world, [`Marshal] = unmarshal the template,
+    [`Fresh] = full reconstruction.  Diagnostic (the bench reports it);
+    results are identical in all three modes. *)
 
 val reusable : config -> reusable
 (** Build a reusable worker harness for configurations sharing this

@@ -11,12 +11,20 @@
     violation list and the distinct-schedule count are identical whatever
     [jobs] is, and identical to the sequential {!Explore.explore}.
 
-    - [Random]: the run-index space [0, budget) is partitioned into
-      chunks; run [i]'s seed and walk are pure functions of [i]
-      ({!Strategy.random_run}).
-    - [Bounded]: breadth-first over deviation prefixes, one generation
-      per wave; a parent's children depend only on its own run, so the
-      frontier is independent of scheduling.
+    The frontier is sharded and work-stealing rather than centrally
+    dispensed or wave-synchronized:
+
+    - [Random]: the run-index space [0, budget) is split into one
+      contiguous shard per domain (run [i] is a pure function of [i],
+      {!Strategy.random_run}); a worker eats its own shard from the
+      front and steals the back half of the fullest survivor when it
+      runs dry, so the common case takes only its own uncontended lock.
+    - [Bounded]: per-domain deques over the deviation-prefix tree,
+      executed optimistically with back-half stealing and no generation
+      barrier; a sequential canonical replay then walks the exact BFS
+      FIFO order off the shared result table (running any task the
+      workers missed on the spot), so the output is independent of how
+      the tree was raced.
 
     The merge dedupes schedules by outcome fingerprint, orders violations
     by schedule index, and confirms/shrinks each violation sequentially

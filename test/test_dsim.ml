@@ -87,12 +87,16 @@ let test_rng_gaussian_moments () =
 (* ------------------------------------------------------------------ *)
 (* Event queue *)
 
+(* The queue carries two payload lanes (the engine parks (fn, arg) pairs
+   there); single-payload tests put [()] in the first lane. *)
+let qpop q = Option.map (fun (_, (), v) -> v) (Dsim.Event_queue.pop q)
+
 let test_queue_order () =
   let q = Dsim.Event_queue.create () in
-  Dsim.Event_queue.push q (Time.of_us 3) "c";
-  Dsim.Event_queue.push q (Time.of_us 1) "a";
-  Dsim.Event_queue.push q (Time.of_us 2) "b";
-  let pop () = snd (Option.get (Dsim.Event_queue.pop q)) in
+  Dsim.Event_queue.push q (Time.of_us 3) () "c";
+  Dsim.Event_queue.push q (Time.of_us 1) () "a";
+  Dsim.Event_queue.push q (Time.of_us 2) () "b";
+  let pop () = Option.get (qpop q) in
   check Alcotest.string "first" "a" (pop ());
   check Alcotest.string "second" "b" (pop ());
   check Alcotest.string "third" "c" (pop ());
@@ -101,21 +105,21 @@ let test_queue_order () =
 let test_queue_fifo_at_same_time () =
   let q = Dsim.Event_queue.create () in
   for i = 1 to 50 do
-    Dsim.Event_queue.push q (Time.of_us 1) i
+    Dsim.Event_queue.push q (Time.of_us 1) () i
   done;
   for i = 1 to 50 do
-    check int "fifo" i (snd (Option.get (Dsim.Event_queue.pop q)))
+    check int "fifo" i (Option.get (qpop q))
   done
 
 let test_queue_growth () =
   let q = Dsim.Event_queue.create () in
   for i = 999 downto 0 do
-    Dsim.Event_queue.push q (Time.of_us i) i
+    Dsim.Event_queue.push q (Time.of_us i) () i
   done;
   check int "length" 1000 (Dsim.Event_queue.length q);
   let prev = ref (-1) in
   for _ = 1 to 1000 do
-    let _, v = Option.get (Dsim.Event_queue.pop q) in
+    let v = Option.get (qpop q) in
     if v <= !prev then Alcotest.fail "heap order violated";
     prev := v
   done
@@ -125,11 +129,11 @@ let prop_queue_sorted =
     QCheck.(list (int_bound 10_000))
     (fun times ->
       let q = Dsim.Event_queue.create () in
-      List.iter (fun us -> Dsim.Event_queue.push q (Time.of_us us) us) times;
+      List.iter
+        (fun us -> Dsim.Event_queue.push q (Time.of_us us) () us)
+        times;
       let rec drain prev =
-        match Dsim.Event_queue.pop q with
-        | None -> true
-        | Some (_, v) -> v >= prev && drain v
+        match qpop q with None -> true | Some v -> v >= prev && drain v
       in
       drain (-1))
 

@@ -86,11 +86,11 @@ let prop_matches_model =
           | Push t ->
               let id = !next_id in
               incr next_id;
-              Eq.push q (Time.of_ns t) id;
+              Eq.push q (Time.of_ns t) () id;
               model := (t, !seq, id) :: !model;
               incr seq
           | Pop ->
-              let got = Eq.pop q in
+              let got = Option.map (fun (at, (), id) -> (at, id)) (Eq.pop q) in
               let expect, model' = model_pop_nth !model 0 in
               model := model';
               same_opt "pop" got
@@ -102,14 +102,17 @@ let prop_matches_model =
                 if Eq.is_empty q then None
                 else
                   let at = Eq.min_time_exn q in
-                  Some (at, Eq.pop_min_exn q)
+                  let (), id = Eq.pop_min_exn q in
+                  Some (at, id)
               in
               let expect, model' = model_pop_nth !model 0 in
               model := model';
               same_opt "pop_min" got
                 (Option.map (fun (at, id) -> (Time.of_ns at, id)) expect)
           | Pop_nth n ->
-              let got = Eq.pop_nth q n in
+              let got =
+                Option.map (fun (at, (), id) -> (at, id)) (Eq.pop_nth q n)
+              in
               let expect, model' = model_pop_nth !model n in
               model := model';
               same_opt
@@ -140,7 +143,7 @@ let prop_matches_model =
         match Eq.pop q with
         | None ->
             if !model <> [] then QCheck.Test.fail_reportf "drain: model not empty"
-        | Some (at, id) ->
+        | Some (at, (), id) ->
             let expect, model' = model_pop_nth !model 0 in
             model := model';
             same_opt "drain" (Some (at, id))

@@ -18,10 +18,10 @@ let bool = Alcotest.bool
 let test_ready_count () =
   let q = Eq.create () in
   check int "empty" 0 (Eq.ready_count q);
-  Eq.push q (Time.of_us 5) "a";
-  Eq.push q (Time.of_us 5) "b";
-  Eq.push q (Time.of_us 7) "c";
-  Eq.push q (Time.of_us 5) "d";
+  Eq.push q (Time.of_us 5) () "a";
+  Eq.push q (Time.of_us 5) () "b";
+  Eq.push q (Time.of_us 7) () "c";
+  Eq.push q (Time.of_us 5) () "d";
   check int "three at earliest" 3 (Eq.ready_count q);
   ignore (Eq.pop q);
   check int "two left" 2 (Eq.ready_count q);
@@ -31,39 +31,39 @@ let test_ready_count () =
 
 let test_pop_nth () =
   let q = Eq.create () in
-  Eq.push q (Time.of_us 5) "a";
-  Eq.push q (Time.of_us 5) "b";
-  Eq.push q (Time.of_us 5) "c";
-  Eq.push q (Time.of_us 9) "z";
+  Eq.push q (Time.of_us 5) () "a";
+  Eq.push q (Time.of_us 5) () "b";
+  Eq.push q (Time.of_us 5) () "c";
+  Eq.push q (Time.of_us 9) () "z";
   (* take the middle of the ready set, then check the rest still pops in
      insertion order *)
   check Alcotest.(option string) "nth=1" (Some "b")
-    (Option.map snd (Eq.pop_nth q 1));
+    (Option.map (fun (_, (), v) -> v) (Eq.pop_nth q 1));
   check Alcotest.(option string) "then a" (Some "a")
-    (Option.map snd (Eq.pop q));
+    (Option.map (fun (_, (), v) -> v) (Eq.pop q));
   check Alcotest.(option string) "then c" (Some "c")
-    (Option.map snd (Eq.pop q));
+    (Option.map (fun (_, (), v) -> v) (Eq.pop q));
   check Alcotest.(option string) "then z" (Some "z")
-    (Option.map snd (Eq.pop q));
+    (Option.map (fun (_, (), v) -> v) (Eq.pop q));
   check bool "drained" true (Eq.is_empty q)
 
 let test_pop_nth_clamped () =
   let q = Eq.create () in
-  Eq.push q (Time.of_us 1) "a";
-  Eq.push q (Time.of_us 1) "b";
-  Eq.push q (Time.of_us 2) "later";
+  Eq.push q (Time.of_us 1) () "a";
+  Eq.push q (Time.of_us 1) () "b";
+  Eq.push q (Time.of_us 2) () "later";
   (* n beyond the ready set clamps to its last member, never to "later" *)
   check Alcotest.(option string) "clamped to b" (Some "b")
-    (Option.map snd (Eq.pop_nth q 99));
+    (Option.map (fun (_, (), v) -> v) (Eq.pop_nth q 99));
   check Alcotest.(option string) "head intact" (Some "a")
-    (Option.map snd (Eq.pop q))
+    (Option.map (fun (_, (), v) -> v) (Eq.pop q))
 
 let test_pop_nth_heap_invariant () =
   (* removing from the middle of the heap must leave a well-formed heap:
      drain and verify global (time, insertion) order on what remains *)
   let q = Eq.create () in
   for i = 0 to 63 do
-    Eq.push q (Time.of_us (i mod 8)) i
+    Eq.push q (Time.of_us (i mod 8)) () i
   done;
   ignore (Eq.pop_nth q 3);
   ignore (Eq.pop_nth q 5);
@@ -73,7 +73,7 @@ let test_pop_nth_heap_invariant () =
   let rec drain () =
     match Eq.pop q with
     | None -> ()
-    | Some (at, _) ->
+    | Some (at, (), _) ->
         if Time.(at < !last) then ok := false;
         last := at;
         incr n;
@@ -220,6 +220,92 @@ let test_reuse_rebuilds_on_projection_change () =
   check bool "reset back" true (Mc.Harness.reset r c3);
   check_reused_matches_fresh "back to replicas=3" r c3
     Mc.Controller.default_spec
+
+(* ------------------------------------------------------------------ *)
+(* Diff snapshot/restore (Mc.Snap + the harness's verified diff mode) *)
+
+type snap_probe = {
+  mutable count : int;
+  mutable label : bytes;
+  mutable weights : float array;
+  cells : int ref array;
+}
+
+let test_snap_restore_unit () =
+  let shared = ref 5 in
+  let p =
+    {
+      count = 1;
+      label = Bytes.of_string "pristine";
+      weights = [| 1.0; 2.5 |];
+      cells = [| shared; shared; ref 7 |];
+    }
+  in
+  let bump () = incr shared in
+  let snap = Mc.Snap.capture (p, bump) in
+  check bool "capture recorded blocks" true (Mc.Snap.blocks snap > 0);
+  (* dirty every kind of captured block, including state reachable only
+     through the closure's environment *)
+  p.count <- 42;
+  Bytes.set p.label 0 'X';
+  p.weights.(1) <- 9.0;
+  p.weights <- [| 0.0 |];
+  p.cells.(2) := 100;
+  bump ();
+  bump ();
+  let dirty = Mc.Snap.restore snap in
+  check bool "restore rewound something" true (dirty > 0);
+  check int "int field" 1 p.count;
+  check bool "bytes contents" true (Bytes.to_string p.label = "pristine");
+  check bool "float array field identity" true
+    (Array.length p.weights = 2 && p.weights.(1) = 2.5);
+  check int "ref through array" 7 !(p.cells.(2));
+  check int "ref through closure env" 5 !shared;
+  check bool "aliasing preserved" true
+    ((p.cells.(0) == p.cells.(1))
+    [@ctslint.allow
+      "phys-equality"
+        "the property under test: restore must preserve sharing, which is \
+         exactly physical identity"]);
+  (* a second run of the same mutations restores identically *)
+  p.count <- 43;
+  ignore (Mc.Snap.restore snap : int);
+  check int "idempotent re-restore" 1 p.count
+
+let test_diff_mode_engaged () =
+  (* The standard exploration world must pass the snapshot verification
+     probe: if [Snap] silently stopped covering some state, reuse would
+     fall back to marshalling and this fails loudly instead of hiding a
+     10x slowdown behind identical results. *)
+  let r = Mc.Harness.reusable (cfg 8) in
+  check bool "diff mode verified" true (Mc.Harness.reuse_mode r = `Diff);
+  (* restore = fresh, draw for draw: after many dirtying runs, a diff
+     restore + reseed still replays fresh construction bit-for-bit (the
+     fingerprint folds every observation of every replica, so a single
+     divergent RNG draw or leaked event shows up here) *)
+  List.iter
+    (fun seed ->
+      let c = { (cfg 8) with Mc.Harness.seed } in
+      check_reused_matches_fresh
+        (Printf.sprintf "diff seed %Ld" seed)
+        r c
+        (spec_with_walk (Int64.add seed 29L)))
+    [ 3L; 17L; 3L ];
+  check bool "still diff after reuse" true (Mc.Harness.reuse_mode r = `Diff)
+
+let test_diff_survives_crash_runs () =
+  (* A crash run tears a replica out of the group — the most invasive
+     mutation a measurement makes.  The next restore must still equal
+     fresh construction, and the no-draw split-order invariant must keep
+     holding (reset returning true re-validates the projection). *)
+  let r = Mc.Harness.reusable (cfg 8) in
+  check bool "diff mode" true (Mc.Harness.reuse_mode r = `Diff);
+  let crash = { (cfg 8) with Mc.Harness.crash_at_round = Some 3 } in
+  check_reused_matches_fresh "crash run via diff" r crash
+    Mc.Controller.default_spec;
+  check_reused_matches_fresh "clean run after crash run" r (cfg 8)
+    Mc.Controller.default_spec;
+  check bool "reset still available" true (Mc.Harness.reset r (cfg 8))
 
 (* ------------------------------------------------------------------ *)
 (* Invariant checks on hand-built outcomes *)
@@ -434,6 +520,24 @@ let test_pool_jobs_equivalence_random_clean () =
     (report_key j1 = report_key j4);
   check int "all schedules ran" 60 j4.Mc.Explore.schedules
 
+let test_pool_jobs_equivalence_bounded_clean () =
+  (* clean bounded search: the work-stealing deques race the tree in an
+     arbitrary order, but the canonical replay must hand back the exact
+     sequential BFS prefix — schedule and distinct counts included *)
+  let c = cfg 6 in
+  let strategy = Mc.Strategy.Bounded { depth = 1 } in
+  let serial = Mc.Explore.explore ~strategy ~budget:80 c in
+  let j1 = Mc.Pool.explore ~strategy ~budget:80 ~jobs:1 c in
+  let j4 = Mc.Pool.explore ~strategy ~budget:80 ~jobs:4 c in
+  check bool "jobs=1 = jobs=4 (bounded, clean)" true
+    (report_key j1 = report_key j4);
+  check int "distinct matches" j1.Mc.Explore.distinct j4.Mc.Explore.distinct;
+  check int "steps match" j1.Mc.Explore.steps_total j4.Mc.Explore.steps_total;
+  check bool "pool = serial (bounded, clean)" true
+    (report_key serial = report_key j1);
+  check int "serial distinct" serial.Mc.Explore.distinct
+    j4.Mc.Explore.distinct
+
 let test_pool_jobs_equivalence_bounded_buggy () =
   (* the seeded bug: same violation (invariant, seed, shrunk
      counterexample), same schedule counts, whatever the domain count *)
@@ -485,6 +589,11 @@ let suites =
           test_reuse_matches_fresh_across_variants;
         Alcotest.test_case "rebuilds on projection change" `Quick
           test_reuse_rebuilds_on_projection_change;
+        Alcotest.test_case "snap restore unit" `Quick test_snap_restore_unit;
+        Alcotest.test_case "diff mode engaged + restore = fresh" `Quick
+          test_diff_mode_engaged;
+        Alcotest.test_case "diff survives crash runs" `Quick
+          test_diff_survives_crash_runs;
       ] );
     ( "mc.invariants",
       [
@@ -510,6 +619,8 @@ let suites =
           test_pool_matches_serial_clean;
         Alcotest.test_case "jobs equivalence (random, clean)" `Quick
           test_pool_jobs_equivalence_random_clean;
+        Alcotest.test_case "jobs equivalence (bounded, clean)" `Quick
+          test_pool_jobs_equivalence_bounded_clean;
         Alcotest.test_case "jobs equivalence (bounded, buggy)" `Quick
           test_pool_jobs_equivalence_bounded_buggy;
         Alcotest.test_case "jobs equivalence (random, buggy)" `Quick
