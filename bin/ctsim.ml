@@ -21,6 +21,71 @@ let replicas =
   let doc = "Number of server replicas." in
   Arg.(value & opt int 3 & info [ "replicas" ] ~docv:"N" ~doc)
 
+(* Observability flags shared by run / hier / explore, so the three
+   subcommands accept the same set (documented per command). *)
+
+let metrics_file =
+  let doc = "Write the metrics-registry snapshot as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let attrib_flag =
+  let doc =
+    "Collect wall-time attribution (per-subsystem probe self time) and \
+     print the table at exit."
+  in
+  Arg.(value & flag & info [ "attrib" ] ~doc)
+
+let dump_on_exit =
+  let doc =
+    "Flush the flight-recorder window at exit to $(docv).flight.txt \
+     (postmortem dump, read with $(b,ctsim postmortem)) and \
+     $(docv).flight.json (Chrome trace, check with $(b,ctsim \
+     trace-check)).  Without this flag the window is flushed only when \
+     the health monitor raised an incident."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "dump-on-exit" ] ~docv:"PREFIX" ~doc)
+
+let write_metrics_opt metrics = function
+  | Some f ->
+      Out_channel.with_open_text f (fun oc ->
+          output_string oc (Obs.Metrics.to_json metrics);
+          output_char oc '\n');
+      Format.fprintf ppf "wrote %s@." f
+  | None -> ()
+
+let print_attrib_opt = function
+  | Some a -> Format.fprintf ppf "@.wall-time attribution:@.%a@." Obs.Attrib.pp a
+  | None -> ()
+
+(* The always-on black box: every run of these subcommands carries a
+   flight recorder and health monitor (the OBS2-benched cost), and the
+   window hits disk when the operator asked for it or when the monitor
+   saw something wrong. *)
+let flush_flight ~prefix recorder health =
+  let incidents = Obs.Health.incidents health in
+  (match incidents with
+  | [] -> Format.fprintf ppf "health: no incidents@."
+  | is ->
+      Format.fprintf ppf "health: %d incident kind(s):@." (List.length is);
+      List.iter
+        (fun i -> Format.fprintf ppf "  %a@." Obs.Health.pp_incident i)
+        is);
+  match (prefix, incidents) with
+  | None, [] -> ()
+  | _ ->
+      let prefix = Option.value prefix ~default:"incident" in
+      let txt = prefix ^ ".flight.txt" and json = prefix ^ ".flight.json" in
+      Obs.Postmortem.dump_file recorder incidents txt;
+      Obs.Trace.write_chrome_file (Obs.Recorder.to_trace recorder) json;
+      Format.fprintf ppf
+        "wrote %s and %s: flight window, %d record(s) held of %d emitted \
+         (diagnose with `ctsim postmortem %s`)@."
+        txt json
+        (Obs.Recorder.length recorder)
+        (Obs.Recorder.total recorder)
+        txt
+
 (* ------------------------------------------------------------------ *)
 
 let fig4_cmd =
@@ -180,10 +245,6 @@ let run_cmd =
     in
     Arg.(value & opt string "trace.json" & info [ "trace"; "o" ] ~docv:"FILE" ~doc)
   in
-  let metrics_file =
-    let doc = "Also write the metrics-registry snapshot as JSON to $(docv)." in
-    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
-  in
   let steps =
     let doc =
       "Record one instant event per engine callback too (per-step \
@@ -195,12 +256,19 @@ let run_cmd =
     let doc = "Trace buffer capacity in events; the excess is counted, not kept." in
     Arg.(value & opt int 1_000_000 & info [ "trace-capacity" ] ~docv:"N" ~doc)
   in
-  let run seed replicas rounds trace_file metrics_file steps capacity =
+  let run seed replicas rounds trace_file metrics_file steps capacity attrib
+      dump =
     let trace = Obs.Trace.create ~capacity () in
     let metrics = Obs.Metrics.create () in
     let sink = Obs.Sink.create () in
     Obs.Sink.attach sink ~trace ~metrics;
     Obs.Sink.set_trace_steps sink steps;
+    let recorder = Obs.Recorder.create () in
+    let health = Obs.Health.create () in
+    Obs.Sink.set_recorder sink (Some recorder);
+    Obs.Sink.set_health sink (Some health);
+    let attrib = if attrib then Some (Obs.Attrib.create ()) else None in
+    Obs.Sink.set_attrib sink attrib;
     let (_ : E.skew_run) =
       E.skew ~seed:(seed64 seed) ~rounds ~replicas ~obs:sink ()
     in
@@ -210,12 +278,6 @@ let run_cmd =
       else Printf.sprintf "replica %d (node %d)" (pid - 1) pid
     in
     Obs.Trace.write_chrome_file ~process_name trace trace_file;
-    (match metrics_file with
-    | Some f ->
-        Out_channel.with_open_text f (fun oc ->
-            output_string oc (Obs.Metrics.to_json metrics);
-            output_char oc '\n')
-    | None -> ());
     let subs =
       String.concat ", "
         (List.map Obs.Subsystem.name (Obs.Trace.subsystems trace))
@@ -239,19 +301,22 @@ let run_cmd =
       (c Obs.Metrics.Net_sent)
       (c Obs.Metrics.Net_delivered)
       (c Obs.Metrics.Net_dropped);
-    match metrics_file with
-    | Some f -> Format.fprintf ppf "wrote %s@." f
-    | None -> ()
+    Format.fprintf ppf "engine: event-queue high water %.0f@."
+      !(Obs.Metrics.gauge metrics "event_queue_hwm");
+    write_metrics_opt metrics metrics_file;
+    print_attrib_opt attrib;
+    flush_flight ~prefix:dump recorder health
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Run the clock-sequence experiment with the observability sink \
           attached and dump a Perfetto-loadable trace plus a metrics \
-          snapshot")
+          snapshot; the flight recorder and health monitor ride along \
+          (see --dump-on-exit)")
     Term.(
       const run $ seed $ replicas $ rounds_arg 200 $ trace_file
-      $ metrics_file $ steps $ capacity)
+      $ metrics_file $ steps $ capacity $ attrib_flag $ dump_on_exit)
 
 let trace_check_cmd =
   let file =
@@ -324,8 +389,24 @@ let explore_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
+  let metrics_out =
+    let doc =
+      "On a violation, write the metrics snapshot of the shrunk \
+       counterexample's replay as JSON to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let flight_out =
+    let doc =
+      "On a violation, write the counterexample's attached flight-recorder \
+       window (its black box) to $(docv), in the format $(b,ctsim \
+       postmortem) reads."
+    in
+    Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
+  in
   let run seed replicas strategy budget depth rounds crash quantum_us
-      delay_prob reorder_prob keep_going jobs trace_out =
+      delay_prob reorder_prob keep_going jobs trace_out metrics_out flight_out
+      attrib =
     let strategy =
       match Mc.Strategy.of_string strategy with
       | Some (Mc.Strategy.Random _) ->
@@ -356,6 +437,18 @@ let explore_cmd =
       end
       else jobs
     in
+    (* Attribution of the exploration itself (discovery runs on this
+       domain when --jobs 1, plus all confirm/shrink replays, which are
+       always sequential on the calling domain). *)
+    let attrib = if attrib then Some (Obs.Attrib.create ()) else None in
+    let attr_sink =
+      match attrib with
+      | None -> None
+      | Some a ->
+          let s = Obs.Sink.create () in
+          Obs.Sink.set_attrib s (Some a);
+          Some s
+    in
     let cfg =
       {
         Mc.Harness.default with
@@ -363,6 +456,7 @@ let explore_cmd =
         rounds;
         seed = seed64 seed;
         crash_at_round = (if crash then Some (rounds / 2) else None);
+        sink = attr_sink;
       }
     in
     let report =
@@ -370,21 +464,36 @@ let explore_cmd =
         ~stop_at_first:(not keep_going) ~jobs cfg
     in
     Format.fprintf ppf "%a@." Mc.Explore.pp_report report;
-    (match (report.Mc.Explore.violations, trace_out) with
-    | v :: _, Some file ->
-        let trace, _metrics =
-          Mc.Explore.trace_violation ~quantum_us cfg v
-        in
-        (* In the model-check harness every node runs a replica. *)
-        let process_name pid = Printf.sprintf "replica %d" pid in
-        Obs.Trace.write_chrome_file ~process_name trace file;
-        Format.fprintf ppf
-          "wrote %s: span trace of the minimal counterexample (%d \
-           event(s))@."
-          file (Obs.Trace.length trace)
-    | [], Some _ ->
+    (match (report.Mc.Explore.violations, trace_out, metrics_out) with
+    | v :: _, trace_out, metrics_out
+      when trace_out <> None || metrics_out <> None ->
+        let trace, metrics = Mc.Explore.trace_violation ~quantum_us cfg v in
+        (match trace_out with
+        | Some file ->
+            (* In the model-check harness every node runs a replica. *)
+            let process_name pid = Printf.sprintf "replica %d" pid in
+            Obs.Trace.write_chrome_file ~process_name trace file;
+            Format.fprintf ppf
+              "wrote %s: span trace of the minimal counterexample (%d \
+               event(s))@."
+              file (Obs.Trace.length trace)
+        | None -> ());
+        write_metrics_opt metrics metrics_out
+    | [], Some _, _ | [], _, Some _ ->
         Format.fprintf ppf "no violation, no counterexample trace written@."
+    | _ -> ());
+    (match (report.Mc.Explore.violations, flight_out) with
+    | v :: _, Some file ->
+        Out_channel.with_open_text file (fun oc ->
+            output_string oc v.Mc.Explore.blackbox);
+        Format.fprintf ppf
+          "wrote %s: flight window of the minimal counterexample (diagnose \
+           with `ctsim postmortem %s`)@."
+          file file
+    | [], Some _ ->
+        Format.fprintf ppf "no violation, no flight window written@."
     | _, None -> ());
+    print_attrib_opt attrib;
     if report.Mc.Explore.violations <> [] then exit 1
   in
   Cmd.v
@@ -397,14 +506,15 @@ let explore_cmd =
     Term.(
       const run $ seed $ replicas $ strategy $ budget $ depth $ rounds_arg 12
       $ crash $ quantum_us $ delay_prob $ reorder_prob $ keep_going $ jobs
-      $ trace_out)
+      $ trace_out $ metrics_out $ flight_out $ attrib_flag)
 
 (* ------------------------------------------------------------------ *)
 
 let hier_cmd =
   let module CH = Scenario.Cluster_hier in
   let module Span = Dsim.Time.Span in
-  let run seed shards shard_size duration_ms mode crash_shard =
+  let run seed shards shard_size duration_ms mode crash_shard trace_file
+      metrics_file attrib dump =
     let mode =
       match mode with
       | "star" -> Hier.Gateway.Star
@@ -421,10 +531,32 @@ let hier_cmd =
           Span.of_ms (-1 * Hier.Topology.shard_of topo (Netsim.Node_id.of_int i));
       }
     in
+    let sink = Obs.Sink.create () in
+    let trace =
+      match trace_file with
+      | Some _ -> Some (Obs.Trace.create ())
+      | None -> None
+    in
+    let metrics =
+      match metrics_file with Some _ -> Some (Obs.Metrics.create ()) | None -> None
+    in
+    Obs.Sink.attach sink ?trace ?metrics;
+    let recorder = Obs.Recorder.create () in
+    (* Generations are per shard ring, so the membership check would
+       compare unrelated rings — off in hier runs. *)
+    let health =
+      Obs.Health.create
+        ~config:{ Obs.Health.default_config with membership_check = false }
+        ()
+    in
+    Obs.Sink.set_recorder sink (Some recorder);
+    Obs.Sink.set_health sink (Some health);
+    let attrib = if attrib then Some (Obs.Attrib.create ()) else None in
+    Obs.Sink.set_attrib sink attrib;
     let t =
       CH.create ~seed:(seed64 seed) ~clock_config
         ~gateway_config:{ Hier.Gateway.default_config with Hier.Gateway.mode }
-        ~shards ~shard_size ()
+        ~shards ~shard_size ~obs:sink ()
     in
     Format.fprintf ppf
       "%d replicas (%d shards x %d), %s bridge, shard s clocks start s ms \
@@ -469,7 +601,27 @@ let hier_cmd =
     Format.fprintf ppf
       "engine: %d events executed, event-queue high water %d@."
       (Dsim.Engine.steps t.CH.eng)
-      (CH.queue_hwm t)
+      (CH.queue_hwm t);
+    (match (trace, trace_file) with
+    | Some tr, Some file ->
+        let process_name pid =
+          Printf.sprintf "replica %d (shard %d)" pid
+            (Hier.Topology.shard_of topo (Netsim.Node_id.of_int pid))
+        in
+        Obs.Trace.write_chrome_file ~process_name tr file;
+        Format.fprintf ppf "wrote %s: %d event(s)@." file (Obs.Trace.length tr)
+    | _ -> ());
+    (match metrics with
+    | Some m -> write_metrics_opt m metrics_file
+    | None -> ());
+    print_attrib_opt attrib;
+    flush_flight ~prefix:dump recorder health
+  in
+  let trace_file =
+    let doc =
+      "Write the run's span trace to $(docv) (Chrome trace-event JSON)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
   let shards =
     let doc = "Number of shards (second-level ring size)." in
@@ -499,8 +651,40 @@ let hier_cmd =
     (Cmd.info "hier"
        ~doc:
          "Run the hierarchical multi-ring time service: per-shard Totem \
-          rings bridged by elected gateways agreeing a global group clock")
-    Term.(const run $ seed $ shards $ shard_size $ duration $ mode $ crash)
+          rings bridged by elected gateways agreeing a global group clock \
+          (accepts the full --trace/--metrics/--attrib set and \
+          --dump-on-exit)")
+    Term.(
+      const run $ seed $ shards $ shard_size $ duration $ mode $ crash
+      $ trace_file $ metrics_file $ attrib_flag $ dump_on_exit)
+
+let postmortem_cmd =
+  let file =
+    let doc =
+      "Flight-recorder dump to diagnose (the .flight.txt written by \
+       --dump-on-exit, an incident flush, or explore --flight)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let tail =
+    let doc = "Timeline records to print (from the end of the window)." in
+    Arg.(value & opt int 40 & info [ "tail" ] ~docv:"N" ~doc)
+  in
+  let run file tail =
+    match Obs.Postmortem.load_file file with
+    | Error e ->
+        Format.eprintf "%s: %s@." file e;
+        exit 1
+    | Ok w -> Format.fprintf ppf "%a" (Obs.Postmortem.report ~tail) w
+  in
+  Cmd.v
+    (Cmd.info "postmortem"
+       ~doc:
+         "Reconstruct what led into an incident from a dumped \
+          flight-recorder window: decode the record timeline, match \
+          deliveries and drops back to their sends (per-path FIFO \
+          lineage), and name the suspect hop for each health incident")
+    Term.(const run $ file $ tail)
 
 let main =
   Cmd.group
@@ -522,6 +706,7 @@ let main =
       explore_cmd;
       run_cmd;
       trace_check_cmd;
+      postmortem_cmd;
     ]
 
 let () = exit (Cmd.eval main)

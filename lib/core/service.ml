@@ -164,7 +164,12 @@ let probe_suppress t round =
       ~pid:(Netsim.Node_id.to_int (me t))
       ~sub:Obs.Subsystem.Ccs ~name:"ccs-suppress"
       ~args:(if round >= 0 then [ ("round", round) ] else [])
-  end
+  end;
+  if s.Obs.Sink.rec_on then
+    Obs.Sink.rec_event s ~kind:Obs.Recorder.k_ccs_suppress
+      ~ts_us:(Time.to_ns (Dsim.Engine.now t.eng) / 1000)
+      ~node:(Netsim.Node_id.to_int (me t))
+      ~a:round ~b:0
 
 let send_ccs t payload =
   if may_send t then begin
@@ -262,13 +267,23 @@ let on_message t (msg : Gcs.Msg.t) =
             (* A message for an already-settled round lost the race (or is
                a duplicate); [recv] discards it — record that. *)
             (let s = Dsim.Engine.obs t.eng in
-             if s.Obs.Sink.active && Ccs_handler.round_settled h p.round then begin
-               Obs.Sink.count s Obs.Metrics.Ccs_discards;
-               Obs.Sink.instant s
-                 ~ts_ns:(Time.to_ns (Dsim.Engine.now t.eng))
-                 ~pid:(Netsim.Node_id.to_int (me t))
-                 ~sub:Obs.Subsystem.Ccs ~name:"ccs-discard"
-                 ~args:[ ("round", p.round) ]
+             if
+               (s.Obs.Sink.active || s.Obs.Sink.rec_on)
+               && Ccs_handler.round_settled h p.round
+             then begin
+               if s.Obs.Sink.active then begin
+                 Obs.Sink.count s Obs.Metrics.Ccs_discards;
+                 Obs.Sink.instant s
+                   ~ts_ns:(Time.to_ns (Dsim.Engine.now t.eng))
+                   ~pid:(Netsim.Node_id.to_int (me t))
+                   ~sub:Obs.Subsystem.Ccs ~name:"ccs-discard"
+                   ~args:[ ("round", p.round) ]
+               end;
+               if s.Obs.Sink.rec_on then
+                 Obs.Sink.rec_event s ~kind:Obs.Recorder.k_ccs_discard
+                   ~ts_us:(Time.to_ns (Dsim.Engine.now t.eng) / 1000)
+                   ~node:(Netsim.Node_id.to_int (me t))
+                   ~a:p.round ~b:0
              end);
             Ccs_handler.recv h p
         | None ->
@@ -325,7 +340,16 @@ let record_reading t ~thread value =
      t.s_rollbacks <- t.s_rollbacks + 1;
      if Span.(magnitude > t.s_max_rollback) then t.s_max_rollback <- magnitude
    end);
-  t.last_per_thread.(key) <- value_ns
+  t.last_per_thread.(key) <- value_ns;
+  (* Every settled clock read feeds the flight recorder / health monitor
+     one group-clock sample — the raw pre-truncation value, so §3
+     monotonicity is judged on what the service actually agreed. *)
+  let s = Dsim.Engine.obs t.eng in
+  if s.Obs.Sink.rec_on then
+    Obs.Sink.rec_event s ~kind:Obs.Recorder.k_gc_sample
+      ~ts_us:(Time.to_ns (Dsim.Engine.now t.eng) / 1000)
+      ~node:(Netsim.Node_id.to_int (me t))
+      ~a:(value_ns / 1000) ~b:key
 
 let clock_read t ~thread ~call =
   if not t.init then
@@ -358,7 +382,13 @@ let clock_read t ~thread ~call =
            ("round", Ccs_handler.round h + 1);
            ("thread", Thread_id.to_int thread);
          ]
-   end);
+   end;
+   if s.Obs.Sink.rec_on then
+     Obs.Sink.rec_event s ~kind:Obs.Recorder.k_ccs_open
+       ~ts_us:(Time.to_ns (Dsim.Engine.now t.eng) / 1000)
+       ~node:(Netsim.Node_id.to_int (me t))
+       ~a:(Ccs_handler.round h + 1)
+       ~b:(Thread_id.to_int thread));
   let old_offset = t.offset in
   let winner = Ccs_handler.get_grp_clock_time h ~proposal:local ~call in
   let gc = winner.Ccs_msg.proposal in
@@ -383,7 +413,13 @@ let clock_read t ~thread ~call =
            ("adjustment_us", adj_ns / 1000);
            ("offset_us", Span.to_us t.offset);
          ]
-   end);
+   end;
+   if s.Obs.Sink.rec_on then
+     Obs.Sink.rec_event s ~kind:Obs.Recorder.k_ccs_settle
+       ~ts_us:(Time.to_ns (Dsim.Engine.now t.eng) / 1000)
+       ~node:(Netsim.Node_id.to_int (me t))
+       ~a:winner.Ccs_msg.round
+       ~b:((Span.to_ns t.offset - Span.to_ns old_offset) / 1000));
   (* Monotonicity accounting uses the raw group clock: coarse call types
      (time() truncates to seconds) would otherwise look like roll-backs. *)
   record_reading t ~thread gc;

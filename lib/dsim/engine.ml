@@ -56,9 +56,22 @@ let probe_step_active s at =
       ~name:"step" ~args:[]
 [@@inline never]
 
+(* Per-step flight-recorder record.  Gated by [rec_on] exactly like
+   [active] gates the trace probe, and further by [rec_steps] (off by
+   default: per-callback records would spend the whole window on
+   steps).  All arguments are ints, so the enabled path allocates
+   nothing — OBS2 benches this. *)
+let rec_step_on s at =
+  if s.Obs.Sink.rec_steps then
+    let us = Time.to_ns at / 1000 in
+    Obs.Sink.rec_event s ~kind:Obs.Recorder.k_step ~ts_us:us ~node:0 ~a:us
+      ~b:0
+[@@inline never]
+
 let probe_step t at =
   let s = t.obs in
-  if s.Obs.Sink.active then probe_step_active s at
+  if s.Obs.Sink.active then probe_step_active s at;
+  if s.Obs.Sink.rec_on then rec_step_on s at
 [@@inline]
 
 let schedule_at t at f =

@@ -49,7 +49,14 @@ let probe_fiber eng ~start id =
       ~pid:0 ~sub:Obs.Subsystem.Dsim
       ~name:(if start then "fiber-start" else "fiber-resume")
       ~args:[ ("fiber", id) ]
-  end
+  end;
+  if s.Obs.Sink.rec_on then
+    Obs.Sink.rec_event s
+      ~kind:
+        (if start then Obs.Recorder.k_fiber_spawn
+         else Obs.Recorder.k_fiber_switch)
+      ~ts_us:(Time.to_ns (Engine.now eng) / 1000)
+      ~node:0 ~a:id ~b:0
 
 let spawn eng f =
   let open Effect.Deep in

@@ -92,7 +92,13 @@ let probe_view t view =
           ("members", List.length view.View.members);
           ("primary", if view.View.primary then 1 else 0);
         ]
-  end
+  end;
+  if s.Obs.Sink.rec_on then
+    Obs.Sink.rec_event s ~kind:Obs.Recorder.k_view
+      ~ts_us:(Dsim.Time.to_ns (Dsim.Engine.now t.eng) / 1000)
+      ~node:(Nid.to_int t.me)
+      ~a:(List.length view.View.members)
+      ~b:(if view.View.primary then 1 else 0)
 
 let refresh_member_cache t group sub =
   sub.am_member <- List.exists (Nid.equal t.me) (members_of t group)

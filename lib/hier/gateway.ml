@@ -139,6 +139,14 @@ let probe_span t which name args =
       ~ts_ns:(Time.to_ns (Dsim.Engine.now t.eng))
       ~pid:(Nid.to_int t.me) ~sub:Obs.Subsystem.Hier ~name ~args
 
+(* Flight-recorder feed, separate gate (all-int, no boxing). *)
+let probe_rec t ~kind ~a ~b =
+  let s = Dsim.Engine.obs t.eng in
+  if s.Obs.Sink.rec_on then
+    Obs.Sink.rec_event s ~kind
+      ~ts_us:(Time.to_ns (Dsim.Engine.now t.eng) / 1000)
+      ~node:(Nid.to_int t.me) ~a ~b
+
 (* ------------------------------------------------------------------ *)
 (* Agreement                                                           *)
 
@@ -147,6 +155,7 @@ let apply_agree t ~round ~time =
   let adopted = Global_clock.observe t.gclock ~round ~time in
   t.s_agreed <- t.s_agreed + 1;
   probe_count t Obs.Metrics.Hier_rounds;
+  probe_rec t ~kind:Obs.Recorder.k_hier_round ~a:round ~b:0;
   let local = estimate t in
   if Time.(adopted > local) then begin
     (* Bounded forward correction: raise the shard's causal floor, at
@@ -163,6 +172,8 @@ let apply_agree t ~round ~time =
         ("round", round);
         ("ahead_us", Span.to_us (Time.diff adopted local));
       ];
+    probe_rec t ~kind:Obs.Recorder.k_hier_correct ~a:round
+      ~b:(Span.to_us (Time.diff adopted local));
     t.on_correction ()
   end
 
@@ -308,6 +319,8 @@ let activate t =
     Netsim.Network.attach t.bridge t.me (on_bridge t);
     probe_count t Obs.Metrics.Hier_elections;
     probe_instant t "hier-elect" [ ("shard", t.my_shard) ];
+    probe_rec t ~kind:Obs.Recorder.k_hier_elect ~a:t.my_shard
+      ~b:(Nid.to_int t.me);
     Log.debug (fun m ->
         m "%a: gateway of shard %d (election %d)" Nid.pp t.me t.my_shard
           t.s_elections);

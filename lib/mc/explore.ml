@@ -8,6 +8,7 @@ type violation = {
   original_deviations : int;
   shrink_runs : int;
   packet_log : string;
+  blackbox : string;
 }
 
 type report = {
@@ -60,10 +61,19 @@ let build_violation ~quantum cfg ~seed ~first_invariant ~deviations =
     if fails deviations then Shrink.minimize ~fails deviations
     else (deviations, 0)
   in
+  (* The confirming re-run carries the flight recorder and health
+     monitor, so every shrunk counterexample ships its own black box:
+     the dumped window travels in the report and feeds
+     [ctsim postmortem] directly. *)
+  let recorder = Obs.Recorder.create ~capacity:8192 () in
+  let health = Obs.Health.create () in
+  let bb_sink = Obs.Sink.create () in
+  Obs.Sink.set_recorder bb_sink (Some recorder);
+  Obs.Sink.set_health bb_sink (Some health);
   let final_outcome, _ =
     Harness.run
       ~spec:(Controller.replay_spec ~quantum counterexample)
-      { cfg with Harness.record_packets = true }
+      { cfg with Harness.record_packets = true; sink = Some bb_sink }
   in
   let invariant, detail =
     match Invariant.check_all final_outcome with
@@ -78,6 +88,7 @@ let build_violation ~quantum cfg ~seed ~first_invariant ~deviations =
     original_deviations = Schedule.length deviations;
     shrink_runs;
     packet_log = final_outcome.Invariant.packet_log;
+    blackbox = Obs.Postmortem.dump_string recorder (Obs.Health.incidents health);
   }
 
 (* Replay the minimal counterexample once more with an obs sink adopted:
@@ -163,7 +174,12 @@ let pp_violation ppf v =
   if v.packet_log <> "" then
     Format.fprintf ppf "@,@[<v>packet log (last %d events):@,%s@]"
       (List.length (String.split_on_char '\n' v.packet_log) - 1)
-      v.packet_log
+      v.packet_log;
+  if v.blackbox <> "" then
+    Format.fprintf ppf
+      "@,flight window: %d line(s) attached (write with --flight, read \
+       with `ctsim postmortem`)"
+      (List.length (String.split_on_char '\n' v.blackbox) - 1)
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>strategy:           %s@," r.strategy;

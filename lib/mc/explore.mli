@@ -20,6 +20,10 @@ type violation = {
   original_deviations : int;  (** trace length before shrinking *)
   shrink_runs : int;  (** simulator re-runs spent shrinking *)
   packet_log : string;  (** packet trace of the minimal replay *)
+  blackbox : string;
+      (** flight-recorder window of the minimal replay, in
+          {!Obs.Postmortem} dump format — every shrunk counterexample
+          ships its own black box *)
 }
 
 type report = {

@@ -224,6 +224,33 @@ let reason_code = function
   | Trace.Partitioned -> 1
   | Trace.No_port -> 2
 
+(* Flight-recorder emission is separate from [trace_event]: the trace
+   path boxes a [Trace.event] per packet (acceptable because [tracing]
+   gates it), but the recorder must stay attached in runs where that
+   boxing is unaffordable.  All-int helper, gate inside — a disabled
+   call is the sink load plus one branch. *)
+let rec_net t ~kind ~node ~a ~b =
+  let s = Dsim.Engine.obs t.eng in
+  if s.Obs.Sink.rec_on then
+    Obs.Sink.rec_event s ~kind
+      ~ts_us:(Dsim.Time.to_ns (Dsim.Engine.now t.eng) / 1000)
+      ~node ~a ~b
+[@@inline]
+
+let rec_sent t ~src ~dst =
+  rec_net t ~kind:Obs.Recorder.k_send ~node:(Node_id.to_int src) ~a:dst ~b:0
+[@@inline]
+
+let rec_delivered t ~src ~dst ~pos =
+  rec_net t ~kind:Obs.Recorder.k_deliver ~node:(Node_id.to_int dst)
+    ~a:(Node_id.to_int src) ~b:pos
+[@@inline]
+
+let rec_dropped t ~src ~dst ~reason =
+  rec_net t ~kind:Obs.Recorder.k_drop ~node:(Node_id.to_int dst)
+    ~a:(Node_id.to_int src) ~b:reason
+[@@inline]
+
 (* Unified emission: the bounded packet trace keeps its historical format
    (tests and [Mc.Explore.packet_log] read it unchanged) while the same
    event also reaches the obs sink as netsim instants + counters.  [pos]
@@ -361,10 +388,12 @@ let dcell_fire (c : 'a dcell) =
   (match port_of t dst with
   | None ->
       t.dropped <- t.dropped + 1;
+      rec_dropped t ~src ~dst ~reason:2;
       if tracing t then
         trace_event t (Trace.Dropped { src; dst; payload; reason = Trace.No_port })
   | Some port ->
       bump_delivered t dst;
+      rec_delivered t ~src ~dst ~pos:(-1);
       if tracing t then trace_event t (Trace.Delivered { src; dst; payload });
       port.handler ~src payload);
   Obs.Sink.attr_leave s
@@ -373,6 +402,7 @@ let deliver_extra t ~extra ~src ~dst payload =
   if reachable t ~src ~dst then
     if t.cfg.loss > 0. && Dsim.Rng.float t.rng 1.0 < t.cfg.loss then begin
       t.dropped <- t.dropped + 1;
+      rec_dropped t ~src ~dst ~reason:0;
       if tracing t then
         trace_event t
           (Trace.Dropped { src; dst; payload; reason = Trace.Loss });
@@ -403,6 +433,7 @@ let deliver_extra t ~extra ~src ~dst payload =
     end
   else begin
     t.dropped <- t.dropped + 1;
+    rec_dropped t ~src ~dst ~reason:1;
     if tracing t then
       trace_event t
         (Trace.Dropped { src; dst; payload; reason = Trace.Partitioned });
@@ -414,11 +445,13 @@ let deliver t ~src ~dst payload =
 
 let send_tracked t ~src ~dst payload =
   bump_sent t src;
+  rec_sent t ~src ~dst:(Node_id.to_int dst);
   if tracing t then trace_event t (Trace.Sent { src; dst = Some dst; payload });
   deliver t ~src ~dst payload
 
 let send_tracked_after t ~delay ~src ~dst payload =
   bump_sent t src;
+  rec_sent t ~src ~dst:(Node_id.to_int dst);
   if tracing t then trace_event t (Trace.Sent { src; dst = Some dst; payload });
   deliver_extra t ~extra:delay ~src ~dst payload
 
@@ -427,6 +460,7 @@ let send t ~src ~dst payload =
 
 let broadcast t ~src payload =
   bump_sent t src;
+  rec_sent t ~src ~dst:(-1);
   if tracing t then trace_event t (Trace.Sent { src; dst = None; payload });
   for i = 0 to t.n_members - 1 do
     let dst = Array.unsafe_get t.members i in
@@ -494,11 +528,13 @@ let bcell_fire (b : 'a bcell) =
     match port_of t dst with
     | None ->
         t.dropped <- t.dropped + 1;
+        rec_dropped t ~src ~dst ~reason:2;
         if tracing t then
           trace_event ~pos:i t
             (Trace.Dropped { src; dst; payload; reason = Trace.No_port })
     | Some port ->
         bump_delivered t dst;
+        rec_delivered t ~src ~dst ~pos:i;
         if tracing t then
           trace_event ~pos:i t (Trace.Delivered { src; dst; payload });
         port.handler ~src payload
@@ -520,6 +556,7 @@ let broadcast_many t ~src payloads ~n =
     Obs.Sink.attr_enter s at_bcast_many;
     for i = 0 to n - 1 do
       bump_sent t src;
+      rec_sent t ~src ~dst:(-1);
       if tracing t then
         trace_event t (Trace.Sent { src; dst = None; payload = payloads.(i) })
     done;
@@ -542,6 +579,7 @@ let broadcast_many t ~src payloads ~n =
               if t.cfg.loss > 0. && Dsim.Rng.float t.rng 1.0 < t.cfg.loss
               then begin
                 t.dropped <- t.dropped + 1;
+                rec_dropped t ~src ~dst ~reason:0;
                 if tracing t then
                   trace_event t
                     (Trace.Dropped { src; dst; payload; reason = Trace.Loss })

@@ -1,0 +1,195 @@
+(* Online invariant monitor: runtime analogues of the paper's §3
+   guarantees, evaluated continuously over the flight-recorder record
+   stream instead of only under [Mc].  The monitor is fed the same
+   compact int records as [Recorder.emit]; it keeps per-node scalar
+   state in growable int arrays and raises structured, deduplicated
+   incidents — one mutable cell per invariant, so a persistent fault
+   costs a counter bump, not an incident per record. *)
+
+type incident = {
+  inv : string;
+  mutable first_us : int;
+  mutable last_us : int;
+  mutable count : int;
+  mutable worst : int;
+  mutable node : int; (* node that produced the worst observation *)
+}
+
+type config = {
+  skew_bound_us : int;
+      (* max allowed spread of (group clock - simulated time) offsets
+         across non-stale nodes; <= 0 disables the check *)
+  token_timeout_us : int;
+      (* max silence between token sightings once a first token has
+         been seen; <= 0 disables the watchdog *)
+  staleness_us : int;
+      (* a node's last gc sample older than this is excluded from the
+         skew envelope (it may be dead or partitioned) *)
+  membership_check : bool;
+      (* generations are per-ring, so a monitor watching several rings
+         at once (lib/hier) must turn this off *)
+}
+
+let default_config =
+  {
+    skew_bound_us = 0;
+    token_timeout_us = 10_000;
+    staleness_us = 5_000;
+    membership_check = true;
+  }
+
+type t = {
+  cfg : config;
+  mutable incidents : incident list; (* newest first *)
+  (* per-node state, indexed by node id, -1 / min_int = unseen *)
+  mutable last_gc_us : int array; (* last group-clock sample, µs *)
+  mutable gc_seen_us : int array; (* sim time of that sample *)
+  (* token watchdog *)
+  mutable last_token_us : int;
+  mutable last_token_node : int;
+  mutable last_token_seq : int;
+  mutable token_alarmed : bool;
+  (* membership agreement: generation -> member count first seen *)
+  gen_members : (int, int) Hashtbl.t;
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    incidents = [];
+    last_gc_us = Array.make 8 min_int;
+    gc_seen_us = Array.make 8 min_int;
+    last_token_us = min_int;
+    last_token_node = -1;
+    last_token_seq = -1;
+    token_alarmed = false;
+    gen_members = Hashtbl.create 16;
+  }
+
+let config t = t.cfg
+let incidents t = List.rev t.incidents
+let incident_count t = List.length t.incidents
+
+let clear t =
+  t.incidents <- [];
+  Array.fill t.last_gc_us 0 (Array.length t.last_gc_us) min_int;
+  Array.fill t.gc_seen_us 0 (Array.length t.gc_seen_us) min_int;
+  t.last_token_us <- min_int;
+  t.last_token_node <- -1;
+  t.last_token_seq <- -1;
+  t.token_alarmed <- false;
+  Hashtbl.reset t.gen_members
+
+let grow arr n =
+  let len = Array.length arr in
+  let len' = ref (if len = 0 then 8 else len) in
+  while n >= !len' do
+    len' := 2 * !len'
+  done;
+  let bigger = Array.make !len' min_int in
+  Array.blit arr 0 bigger 0 len;
+  bigger
+
+let ensure_node t n =
+  if n >= Array.length t.last_gc_us then begin
+    t.last_gc_us <- grow t.last_gc_us n;
+    t.gc_seen_us <- grow t.gc_seen_us n
+  end
+
+let raise_incident t ~inv ~ts_us ~node ~worst =
+  match List.find_opt (fun i -> i.inv = inv) t.incidents with
+  | Some i ->
+      i.count <- i.count + 1;
+      i.last_us <- ts_us;
+      if worst > i.worst then begin
+        i.worst <- worst;
+        i.node <- node
+      end
+  | None ->
+      t.incidents <-
+        { inv; first_us = ts_us; last_us = ts_us; count = 1; worst; node }
+        :: t.incidents
+
+(* --- the four invariants ------------------------------------------ *)
+
+let check_monotonic t ~ts_us ~node ~gc_us =
+  let last = t.last_gc_us.(node) in
+  if last <> min_int && gc_us < last then
+    raise_incident t ~inv:"gc-monotonic" ~ts_us ~node ~worst:(last - gc_us);
+  t.last_gc_us.(node) <- gc_us;
+  t.gc_seen_us.(node) <- ts_us
+
+let check_skew t ~ts_us ~node =
+  if t.cfg.skew_bound_us > 0 then begin
+    (* spread of (gc - sim-time) offsets over non-stale nodes *)
+    let lo = ref max_int and hi = ref min_int in
+    let hi_node = ref node in
+    for n = 0 to Array.length t.last_gc_us - 1 do
+      let seen = t.gc_seen_us.(n) in
+      if seen <> min_int && ts_us - seen <= t.cfg.staleness_us then begin
+        let off = t.last_gc_us.(n) - seen in
+        if off < !lo then lo := off;
+        if off > !hi then begin
+          hi := off;
+          hi_node := n
+        end
+      end
+    done;
+    if !hi > !lo && !hi - !lo > t.cfg.skew_bound_us then
+      raise_incident t ~inv:"skew-envelope" ~ts_us ~node:!hi_node
+        ~worst:(!hi - !lo)
+  end
+
+let check_token_liveness t ~ts_us =
+  if
+    t.cfg.token_timeout_us > 0 && (not t.token_alarmed)
+    && t.last_token_us <> min_int
+    && ts_us - t.last_token_us > t.cfg.token_timeout_us
+  then begin
+    t.token_alarmed <- true;
+    raise_incident t ~inv:"token-liveness" ~ts_us ~node:t.last_token_node
+      ~worst:(ts_us - t.last_token_us)
+  end
+
+let check_membership t ~ts_us ~node ~gen ~members =
+  match Hashtbl.find_opt t.gen_members gen with
+  | None -> Hashtbl.add t.gen_members gen members
+  | Some m ->
+      if m <> members then
+        raise_incident t ~inv:"membership-agreement" ~ts_us ~node
+          ~worst:(abs (m - members))
+
+let observe t ~kind ~ts_us ~node ~a ~b =
+  if kind = Recorder.k_gc_sample then begin
+    ensure_node t node;
+    check_monotonic t ~ts_us ~node ~gc_us:a;
+    check_skew t ~ts_us ~node
+  end
+  else if kind = Recorder.k_token then begin
+    t.last_token_us <- ts_us;
+    t.last_token_node <- node;
+    t.last_token_seq <- a;
+    t.token_alarmed <- false
+  end
+  else if kind = Recorder.k_operational then begin
+    if t.cfg.membership_check then
+      check_membership t ~ts_us ~node ~gen:a ~members:b
+  end;
+  (* the watchdog ticks on every record: simulated time only advances
+     when something happens, so any record is a chance to notice the
+     token has gone quiet *)
+  check_token_liveness t ~ts_us
+
+(* --- reporting ---------------------------------------------------- *)
+
+let pp_incident ppf i =
+  Format.fprintf ppf
+    "%-20s first %d us, last %d us, count %d, worst %d (node %d)" i.inv
+    i.first_us i.last_us i.count i.worst i.node
+
+let pp ppf t =
+  match incidents t with
+  | [] -> Format.fprintf ppf "health: no incidents"
+  | is ->
+      Format.fprintf ppf "health: %d incident kind(s)" (List.length is);
+      List.iter (fun i -> Format.fprintf ppf "@.  %a" pp_incident i) is

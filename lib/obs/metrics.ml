@@ -180,7 +180,14 @@ let hist_json b h =
   Buffer.add_string b (string_of_int (Stats.Histogram.count h));
   if Stats.Histogram.count h > 0 then begin
     Buffer.add_string b ",\"mode_bin_mid\":";
-    buf_float b (Stats.Histogram.bin_mid h (Stats.Histogram.mode_bin h))
+    buf_float b (Stats.Histogram.bin_mid h (Stats.Histogram.mode_bin h));
+    (* fig5-style latency reporting wants percentiles, not just the
+       mode; resolution is the histogram's bin width *)
+    List.iter
+      (fun (name, q) ->
+        Buffer.add_string b (Printf.sprintf ",\"%s\":" name);
+        buf_float b (Stats.Histogram.quantile h q))
+      [ ("p50", 0.5); ("p95", 0.95); ("p99", 0.99) ]
   end;
   Buffer.add_char b '}'
 

@@ -1,0 +1,362 @@
+(* Post-hoc diagnosis over a dumped flight-recorder window.
+
+   The on-disk format is a line-oriented text file meant to survive in
+   a bug report:
+
+     # ctsim flight recorder v1
+     # total <n> dropped <n>
+     R <kind> <ts_us> <node> <a> <b>        one line per record
+     I <inv> <first_us> <last_us> <count> <worst> <node>
+
+   [report] decodes the window into a human-readable causal timeline:
+   records are printed oldest-to-newest with their kind's payload
+   names, deliveries and drops are matched back to their send (per
+   (src, dst) FIFO order — the same in-order delivery contract
+   [Netsim.Network] enforces), and each incident is traced back to a
+   suspect: for a token-liveness incident, the last accepted token
+   fixes the node that held the token when the ring went quiet, and
+   the first drop sourced at that node names the faulted hop. *)
+
+type record = { kind : int; ts_us : int; node : int; a : int; b : int }
+
+type window = {
+  records : record array; (* oldest first *)
+  incidents : Health.incident list;
+  w_total : int; (* records ever emitted, pre-wrap *)
+  w_dropped : int; (* records lost to wrap *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Dump / load                                                         *)
+
+let header = "# ctsim flight recorder v1"
+
+let write_window buf (recorder : Recorder.t) (incidents : Health.incident list)
+    =
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "# total %d dropped %d\n" (Recorder.total recorder)
+       (Recorder.dropped recorder));
+  Recorder.iter recorder (fun ~kind ~ts_us ~node ~a ~b ->
+      Buffer.add_string buf
+        (Printf.sprintf "R %d %d %d %d %d\n" kind ts_us node a b));
+  List.iter
+    (fun (i : Health.incident) ->
+      Buffer.add_string buf
+        (Printf.sprintf "I %s %d %d %d %d %d\n" i.inv i.first_us i.last_us
+           i.count i.worst i.node))
+    incidents
+
+let dump_string recorder incidents =
+  let buf = Buffer.create 4096 in
+  write_window buf recorder incidents;
+  Buffer.contents buf
+
+let dump_file recorder incidents path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (dump_string recorder incidents))
+
+let parse_error line msg =
+  Error (Printf.sprintf "flight window parse error, line %d: %s" line msg)
+
+let load_string s =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | first :: rest when String.trim first = header ->
+      let records = ref [] and incidents = ref [] in
+      let total = ref 0 and dropped = ref 0 in
+      let err = ref None in
+      List.iteri
+        (fun i line ->
+          let lineno = i + 2 in
+          let line = String.trim line in
+          if !err = None && line <> "" then
+            match String.split_on_char ' ' line with
+            | "R" :: [ k; ts; n; a; b ] -> (
+                match
+                  ( int_of_string_opt k,
+                    int_of_string_opt ts,
+                    int_of_string_opt n,
+                    int_of_string_opt a,
+                    int_of_string_opt b )
+                with
+                | Some kind, Some ts_us, Some node, Some a, Some b ->
+                    records := { kind; ts_us; node; a; b } :: !records
+                | _ -> err := Some (lineno, "malformed R record"))
+            | "I" :: [ inv; f; l; c; w; n ] -> (
+                match
+                  ( int_of_string_opt f,
+                    int_of_string_opt l,
+                    int_of_string_opt c,
+                    int_of_string_opt w,
+                    int_of_string_opt n )
+                with
+                | Some first_us, Some last_us, Some count, Some worst, Some node
+                  ->
+                    incidents :=
+                      ({ Health.inv; first_us; last_us; count; worst; node }
+                        : Health.incident)
+                      :: !incidents
+                | _ -> err := Some (lineno, "malformed I record"))
+            | "#" :: "total" :: [ t; "dropped"; d ] ->
+                total := Option.value ~default:0 (int_of_string_opt t);
+                dropped := Option.value ~default:0 (int_of_string_opt d)
+            | s :: _ when String.length s > 0 && s.[0] = '#' -> ()
+            | _ -> err := Some (lineno, "unrecognized line"))
+        rest;
+      (match !err with
+      | Some (lineno, msg) -> parse_error lineno msg
+      | None ->
+          let records = Array.of_list (List.rev !records) in
+          let total = if !total = 0 then Array.length records else !total in
+          Ok
+            {
+              records;
+              incidents = List.rev !incidents;
+              w_total = total;
+              w_dropped = !dropped;
+            })
+  | _ -> parse_error 1 (Printf.sprintf "missing %S header" header)
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> load_string s
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export of a loaded window                                    *)
+
+let to_trace w =
+  let tr = Trace.create ~capacity:(Array.length w.records + 16) () in
+  Array.iter
+    (fun r ->
+      let an, bn = Recorder.arg_names r.kind in
+      let args = if bn = "" then [ (an, r.a) ] else [ (an, r.a); (bn, r.b) ] in
+      let args = if an = "" then [] else args in
+      Trace.instant tr ~ts_ns:(r.ts_us * 1000) ~pid:r.node
+        ~sub:(Recorder.kind_sub r.kind) ~name:(Recorder.kind_name r.kind) ~args)
+    w.records;
+  tr
+
+let write_chrome_file w path = Trace.write_chrome_file (to_trace w) path
+
+(* ------------------------------------------------------------------ *)
+(* Lineage: match deliveries / drops back to sends                     *)
+
+(* Sends carry dst in [a] (-1 for broadcast); deliveries and drops run
+   at the destination with src in [a].  Per (src, dst) the network is
+   FIFO, so matching is queue-pop in record order.  Broadcast sends
+   fan out, so a broadcast send queue is peeked rather than popped. *)
+
+let sent_at w =
+  let n = Array.length w.records in
+  let sent = Array.make n (-1) in
+  let pending : (int * int, int Queue.t) Hashtbl.t = Hashtbl.create 64 in
+  let bcast : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i r ->
+      if r.kind = Recorder.k_send then
+        if r.a < 0 then Hashtbl.replace bcast r.node i
+        else begin
+          let key = (r.node, r.a) in
+          let q =
+            match Hashtbl.find_opt pending key with
+            | Some q -> q
+            | None ->
+                let q = Queue.create () in
+                Hashtbl.add pending key q;
+                q
+          in
+          Queue.push i q
+        end
+      else if r.kind = Recorder.k_deliver || r.kind = Recorder.k_drop then begin
+        let key = (r.a, r.node) in
+        match Hashtbl.find_opt pending key with
+        | Some q when not (Queue.is_empty q) -> sent.(i) <- Queue.pop q
+        | _ -> (
+            match Hashtbl.find_opt bcast r.a with
+            | Some j -> sent.(i) <- j
+            | None -> ())
+      end)
+    w.records;
+  sent
+
+(* ------------------------------------------------------------------ *)
+(* Suspect analysis                                                    *)
+
+type suspect = {
+  s_inv : string;
+  s_desc : string; (* one-line human description of the faulted hop *)
+  s_record : int option; (* index of the pivotal record, if any *)
+}
+
+let find_last w ?(before = max_int) p =
+  let found = ref None in
+  Array.iteri
+    (fun i r -> if r.ts_us <= before && p r then found := Some i)
+    w.records;
+  !found
+
+let find_first w ?(after = min_int) p =
+  let found = ref None in
+  Array.iteri
+    (fun i r ->
+      if !found = None && r.ts_us >= after && p r then found := Some i)
+    w.records;
+  !found
+
+let suspect_of_incident w (inc : Health.incident) =
+  match inc.inv with
+  | "token-liveness" -> (
+      (* the node that last held the token is where the ring went
+         quiet; the first drop sourced there names the hop *)
+      match
+        find_last w ~before:inc.first_us (fun r -> r.kind = Recorder.k_token)
+      with
+      | None ->
+          {
+            s_inv = inc.inv;
+            s_desc =
+              Printf.sprintf
+                "no token in the window; ring was silent for %d us" inc.worst;
+            s_record = None;
+          }
+      | Some ti -> (
+          let t = w.records.(ti) in
+          match
+            find_first w ~after:t.ts_us (fun r ->
+                r.kind = Recorder.k_drop && r.a = t.node)
+          with
+          | Some di ->
+              let d = w.records.(di) in
+              {
+                s_inv = inc.inv;
+                s_desc =
+                  Printf.sprintf
+                    "token last accepted by node %d (seq %d) at %d us; next \
+                     hop %d -> %d dropped (%s) at %d us"
+                    t.node t.a t.ts_us t.node d.node
+                    (Recorder.drop_reason_name d.b)
+                    d.ts_us;
+                s_record = Some di;
+              }
+          | None ->
+              {
+                s_inv = inc.inv;
+                s_desc =
+                  Printf.sprintf
+                    "token last accepted by node %d (seq %d) at %d us; no \
+                     onward delivery recorded"
+                    t.node t.a t.ts_us;
+                s_record = Some ti;
+              }))
+  | "gc-monotonic" | "skew-envelope" -> (
+      match
+        find_last w ~before:inc.last_us (fun r ->
+            r.kind = Recorder.k_ccs_settle && r.node = inc.node)
+      with
+      | Some ci ->
+          let c = w.records.(ci) in
+          {
+            s_inv = inc.inv;
+            s_desc =
+              Printf.sprintf
+                "worst offender node %d; nearest preceding CCS settle: round \
+                 %d, adjustment %d us at %d us"
+                inc.node c.a c.b c.ts_us;
+            s_record = Some ci;
+          }
+      | None ->
+          {
+            s_inv = inc.inv;
+            s_desc =
+              Printf.sprintf "worst offender node %d; no CCS settle in window"
+                inc.node;
+            s_record = None;
+          })
+  | "membership-agreement" -> (
+      match
+        find_first w (fun r ->
+            r.kind = Recorder.k_operational && r.node = inc.node)
+      with
+      | Some oi ->
+          let o = w.records.(oi) in
+          {
+            s_inv = inc.inv;
+            s_desc =
+              Printf.sprintf
+                "node %d reached operational in gen %d with %d member(s), \
+                 disagreeing with an earlier report for the same gen"
+                o.node o.a o.b;
+            s_record = Some oi;
+          }
+      | None ->
+          {
+            s_inv = inc.inv;
+            s_desc = Printf.sprintf "disagreeing node %d" inc.node;
+            s_record = None;
+          })
+  | inv ->
+      {
+        s_inv = inv;
+        s_desc = Printf.sprintf "worst value %d at node %d" inc.worst inc.node;
+        s_record = None;
+      }
+
+let suspects w = List.map (suspect_of_incident w) w.incidents
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+
+let pp_record ppf w sent marks i =
+  let r = w.records.(i) in
+  let an, bn = Recorder.arg_names r.kind in
+  Format.fprintf ppf "%10d us  node %-3d %-7s %-13s" r.ts_us r.node
+    (Subsystem.name (Recorder.kind_sub r.kind))
+    (Recorder.kind_name r.kind);
+  if an <> "" then Format.fprintf ppf " %s=%d" an r.a;
+  if bn <> "" then Format.fprintf ppf " %s=%d" bn r.b;
+  if r.kind = Recorder.k_drop then
+    Format.fprintf ppf " (%s)" (Recorder.drop_reason_name r.b);
+  if sent.(i) >= 0 then begin
+    let s = w.records.(sent.(i)) in
+    Format.fprintf ppf "  [sent %d us ago by node %d]" (r.ts_us - s.ts_us)
+      s.node
+  end;
+  if List.mem i marks then Format.fprintf ppf "   <-- suspect"
+
+let report ?(tail = 40) ppf w =
+  let n = Array.length w.records in
+  let sent = sent_at w in
+  let sus = suspects w in
+  let marks = List.filter_map (fun s -> s.s_record) sus in
+  Format.fprintf ppf "flight window: %d record(s) held, %d emitted, %d lost \
+                      to wrap@."
+    n w.w_total w.w_dropped;
+  (match w.incidents with
+  | [] -> Format.fprintf ppf "incidents: none@."
+  | is ->
+      Format.fprintf ppf "incidents:@.";
+      List.iter
+        (fun i -> Format.fprintf ppf "  %a@." Health.pp_incident i)
+        is);
+  List.iter
+    (fun s -> Format.fprintf ppf "suspect [%s]: %s@." s.s_inv s.s_desc)
+    sus;
+  (* print suspect records that fall before the tail, then the tail *)
+  let first_tail = max 0 (n - tail) in
+  let early_marks =
+    List.filter (fun i -> i < first_tail) (List.sort_uniq compare marks)
+  in
+  Format.fprintf ppf "timeline (last %d of %d record(s)):@." (n - first_tail)
+    n;
+  List.iter
+    (fun i -> Format.fprintf ppf "  %a@." (fun ppf -> pp_record ppf w sent marks) i)
+    early_marks;
+  if first_tail > 0 then Format.fprintf ppf "  ...@.";
+  for i = first_tail to n - 1 do
+    Format.fprintf ppf "  %a@." (fun ppf -> pp_record ppf w sent marks) i
+  done

@@ -1,0 +1,86 @@
+(** Always-on, zero-allocation flight recorder.
+
+    A fixed-capacity ring buffer of compact int-encoded records — event
+    kind, simulated-µs timestamp, node, and two payload ints — stored in
+    one flat [int array].  [emit] on the steady-state wrap path is five
+    integer stores and two field writes: no boxing, no branch on
+    capacity growth, nothing for the GC.  This is what lets the recorder
+    stay attached in every run (the black box), unlike {!Trace}, which
+    boxes an event record and its args per probe.
+
+    The record layout is an internal encoding; decode through
+    {!kind_name} / {!kind_sub} / {!arg_names}, or convert a window with
+    {!to_trace} for the Chrome exporter.  The buffer is plain data, so a
+    sink carrying a recorder still marshals ([Mc.Harness] world
+    reuse). *)
+
+type t
+
+val stride : int
+(** Ints per record (5). *)
+
+val default_capacity : int
+(** 65,536 records (~2.6 MB). *)
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is in records.  Raises [Invalid_argument] when <= 0. *)
+
+val emit : t -> kind:int -> ts_us:int -> node:int -> a:int -> b:int -> unit
+(** Append one record, overwriting the oldest once the ring is full.
+    Allocation-free. *)
+
+val capacity : t -> int
+val total : t -> int
+(** Records ever emitted (monotone; exceeds [capacity] after wrap). *)
+
+val length : t -> int
+(** Records currently held = [min total capacity]. *)
+
+val dropped : t -> int
+(** Records overwritten by wrap = [total - length]. *)
+
+val clear : t -> unit
+
+val iter :
+  t ->
+  (kind:int -> ts_us:int -> node:int -> a:int -> b:int -> unit) ->
+  unit
+(** Oldest to newest. *)
+
+val to_trace : ?capacity:int -> t -> Trace.t
+(** Decode the window into instant events (pid = node, tid = the kind's
+    subsystem) for {!Trace.write_chrome_file}. *)
+
+(** {1 Record kinds}
+
+    The kind determines the subsystem and the meaning of the payload
+    ints; see {!arg_names}. *)
+
+val k_step : int
+val k_fiber_spawn : int
+val k_fiber_switch : int
+val k_send : int
+val k_deliver : int
+val k_drop : int
+val k_token : int
+val k_gather : int
+val k_operational : int
+val k_view : int
+val k_ccs_open : int
+val k_ccs_settle : int
+val k_ccs_suppress : int
+val k_ccs_discard : int
+val k_gc_sample : int
+val k_hier_round : int
+val k_hier_correct : int
+val k_hier_elect : int
+val kind_count : int
+
+val kind_name : int -> string
+val kind_sub : int -> Subsystem.t
+val arg_names : int -> string * string
+(** Names of the [a] and [b] payloads; [""] marks an unused payload. *)
+
+val drop_reason_name : int -> string
+(** Decode the [b] payload of a [k_drop] record (mirrors
+    [Netsim.Network]'s loss / partitioned / no-port encoding). *)

@@ -4,6 +4,10 @@ type t = {
   mutable metrics : Metrics.t option;
   mutable trace_steps : bool;
   mutable attrib : Attrib.t option;
+  mutable rec_on : bool;
+  mutable recorder : Recorder.t option;
+  mutable health : Health.t option;
+  mutable rec_steps : bool;
 }
 
 let inactive () =
@@ -13,6 +17,10 @@ let inactive () =
     metrics = None;
     trace_steps = false;
     attrib = None;
+    rec_on = false;
+    recorder = None;
+    health = None;
+    rec_steps = false;
   }
 
 let create = inactive
@@ -68,3 +76,32 @@ let attr_enter t site =
 let attr_leave t =
   match t.attrib with Some a -> Attrib.leave a | None -> ()
 [@@inline]
+
+(* The flight recorder and health monitor are gated by [rec_on], a
+   third gate beside [active] and the attrib option: both consumers
+   take only unboxed int arguments, so a probe site that already has
+   the ints in hand feeds them with zero allocation — which is what
+   lets the recorder stay attached in production runs where [active]
+   stays false. *)
+
+let refresh_rec t = t.rec_on <- t.recorder <> None || t.health <> None
+
+let set_recorder t r =
+  t.recorder <- r;
+  refresh_rec t
+
+let set_health t h =
+  t.health <- h;
+  refresh_rec t
+
+let recorder t = t.recorder
+let health t = t.health
+let set_rec_steps t v = t.rec_steps <- v
+
+let rec_event t ~kind ~ts_us ~node ~a ~b =
+  (match t.recorder with
+  | Some r -> Recorder.emit r ~kind ~ts_us ~node ~a ~b
+  | None -> ());
+  match t.health with
+  | Some h -> Health.observe h ~kind ~ts_us ~node ~a ~b
+  | None -> ()

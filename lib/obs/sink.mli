@@ -33,6 +33,14 @@ type t = {
       (** wall-time attribution recorder; gated separately from
           [active] (see {!attr_enter}) so profiling a big run does not
           also pay for trace-event construction *)
+  mutable rec_on : bool;
+      (** true iff a flight recorder or health monitor is attached —
+          the gate probe sites check before calling {!rec_event} *)
+  mutable recorder : Recorder.t option;
+  mutable health : Health.t option;
+  mutable rec_steps : bool;
+      (** also emit one flight-recorder record per engine callback
+          (very hot; off by default even when recording) *)
 }
 
 val inactive : unit -> t
@@ -84,3 +92,22 @@ val set_attrib : t -> Attrib.t option -> unit
 val attrib : t -> Attrib.t option
 val attr_enter : t -> Attrib.site -> unit
 val attr_leave : t -> unit
+
+(** {1 Flight recorder / health monitor}
+
+    Third gate beside [active] and [attrib]: probe sites check
+    [rec_on] (one load, one branch) and then call {!rec_event} with
+    the ints they already hold — no boxing on either side, so the
+    recorder can stay attached in runs where tracing would be too
+    expensive.  Record kinds and payload meanings are defined by
+    {!Recorder}. *)
+
+val set_recorder : t -> Recorder.t option -> unit
+val set_health : t -> Health.t option -> unit
+val recorder : t -> Recorder.t option
+val health : t -> Health.t option
+val set_rec_steps : t -> bool -> unit
+
+val rec_event : t -> kind:int -> ts_us:int -> node:int -> a:int -> b:int -> unit
+(** Feed one record to whichever of recorder / health is attached.
+    Callers are expected to have checked [rec_on]. *)

@@ -50,6 +50,24 @@ let mode_bin t =
   done;
   !best
 
+let quantile t q =
+  if t.count = 0 then invalid_arg "Histogram.quantile: empty";
+  if q < 0. || q > 1. then invalid_arg "Histogram.quantile: q outside [0, 1]";
+  (* rank of the sample we want, 1-based; q = 0 picks the first sample *)
+  let target =
+    let r = Float.round (q *. float_of_int t.count) in
+    if r < 1. then 1. else r
+  in
+  let target = int_of_float target in
+  let i = ref 0 and cum = ref 0 in
+  while !cum + t.bins.(!i) < target do
+    cum := !cum + t.bins.(!i);
+    incr i
+  done;
+  (* linear interpolation inside the bin holding the target rank *)
+  let inside = float_of_int (target - !cum) /. float_of_int t.bins.(!i) in
+  bin_lo t !i +. (inside *. t.bin_width)
+
 let rows t =
   List.init (bin_count t) (fun i -> (bin_mid t i, density t i))
 

@@ -33,6 +33,14 @@ val density : t -> int -> float
 val mode_bin : t -> int
 (** Index of the fullest bin.  Raises [Invalid_argument] when empty. *)
 
+val quantile : t -> float -> float
+(** [quantile t q] estimates the [q]-quantile ([0. <= q <= 1.]) by
+    scanning the cumulative bin counts and interpolating linearly
+    inside the bin holding the target rank — the resolution is the bin
+    width, which is what a fixed-bin histogram can honestly promise.
+    Raises [Invalid_argument] when the histogram is empty or [q] is
+    outside [0, 1]. *)
+
 val rows : t -> (float * float) list
 (** [(bin midpoint, density)] for every bin up to the last non-empty one. *)
 

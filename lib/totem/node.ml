@@ -247,7 +247,13 @@ let rec enter_gather t ~candidates ~prefail =
      Obs.Sink.instant s
        ~ts_ns:(Dsim.Time.to_ns (Dsim.Engine.now t.eng))
        ~pid:(Nid.to_int t.me) ~sub:Obs.Subsystem.Totem ~name:"gather"
-       ~args:[ ("candidates", Set.cardinal g.proc_set) ]);
+       ~args:[ ("candidates", Set.cardinal g.proc_set) ];
+   if s.Obs.Sink.rec_on then
+     Obs.Sink.rec_event s ~kind:Obs.Recorder.k_gather
+       ~ts_us:(Dsim.Time.to_ns (Dsim.Engine.now t.eng) / 1000)
+       ~node:(Nid.to_int t.me)
+       ~a:(Set.cardinal g.proc_set)
+       ~b:0);
   if was_operational then t.handler Blocked;
   Log.debug (fun m ->
       m "%a: enter gather (candidates=%d)" Nid.pp t.me
@@ -504,7 +510,12 @@ and maybe_finish_recovery t (rs : recovery_state) =
          ~pid:(Nid.to_int t.me) ~sub:Obs.Subsystem.Totem ~name:"operational"
          ~args:
            [ ("gen", c.new_ring.gen); ("members", List.length c.members) ]
-     end);
+     end;
+     if s.Obs.Sink.rec_on then
+       Obs.Sink.rec_event s ~kind:Obs.Recorder.k_operational
+         ~ts_us:(Dsim.Time.to_ns (Dsim.Engine.now t.eng) / 1000)
+         ~node:(Nid.to_int t.me) ~a:c.new_ring.gen
+         ~b:(List.length c.members));
     (* Only the new ring's store remains relevant. *)
     t.stores <-
       Ring_id.Map.filter (fun r _ -> Ring_id.equal r c.new_ring) t.stores;
@@ -651,7 +662,11 @@ and accept_token t (tok : Wire.token) =
        ~ts_ns:(Dsim.Time.to_ns (Dsim.Engine.now t.eng))
        ~pid:(Nid.to_int t.me) ~sub:Obs.Subsystem.Totem ~name:"token"
        ~args:[ ("seq", tok.token_seq); ("aru", tok.aru) ]
-   end);
+   end;
+   if s.Obs.Sink.rec_on then
+     Obs.Sink.rec_event s ~kind:Obs.Recorder.k_token
+       ~ts_us:(Dsim.Time.to_ns (Dsim.Engine.now t.eng) / 1000)
+       ~node:(Nid.to_int t.me) ~a:tok.token_seq ~b:tok.aru);
   (match t.token_probe with Some f -> f tok | None -> ());
   let s =
     match t.ring with Some r -> store_for t r | None -> assert false

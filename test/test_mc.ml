@@ -478,7 +478,15 @@ let test_seeded_bug_found_and_shrunk () =
           buggy
       in
       check bool "replayable" true (Mc.Invariant.check_all o <> []);
-      check bool "packet log rendered" true (v.Mc.Explore.packet_log <> "")
+      check bool "packet log rendered" true (v.Mc.Explore.packet_log <> "");
+      (* the black box rides along: the minimal repro's flight window
+         must parse back and actually contain records *)
+      check bool "flight window attached" true (v.Mc.Explore.blackbox <> "");
+      (match Obs.Postmortem.load_string v.Mc.Explore.blackbox with
+      | Error e -> Alcotest.failf "blackbox does not parse: %s" e
+      | Ok w ->
+          check bool "blackbox has records" true
+            (Array.length w.Obs.Postmortem.records > 0))
 
 let test_seeded_bug_random_walk_finds_it () =
   let r =
