@@ -1,7 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (see DESIGN.md's experiment index), runs Bechamel
    micro-benchmarks of the building blocks, and emits a machine-readable
-   benchmark trajectory (BENCH_PR9.json, or $CTS_BENCH_JSON) so future
+   benchmark trajectory (BENCH_PR10.json, or $CTS_BENCH_JSON) so future
    PRs can diff their perf numbers against this one.  The engine and
    explorer sections also report explicit deltas against the checked-in
    PR-2..PR-8 numbers (BENCH_PR2.json .. BENCH_PR8.json) measured on
@@ -9,7 +9,8 @@
    compiled-in but disabled probes cost nothing, the OBS2 section
    guards PR 9's claim that the always-on flight recorder stays within
    5% of recorder-off throughput at zero allocation, the LINT1 section
-   times PR 5's full-tree ctslint pass, the HIER1 section scales the
+   times PR 5's full-tree ctslint pass, the LINT2 section times PR 10's
+   typed .cmt certification pass, the HIER1 section scales the
    PR-6 hierarchical multi-ring service from 4 to 1024 replicas, and
    the SCALE1 section guards PR 7's superlinear-cost elimination: it
    attributes the 1024-replica run's wall time to (subsystem, probe)
@@ -46,7 +47,7 @@ let json_fields : (string * string) list ref = ref []
 let json_add name fragment = json_fields := (name, fragment) :: !json_fields
 
 let json_path =
-  Option.value ~default:"BENCH_PR9.json" (Sys.getenv_opt "CTS_BENCH_JSON")
+  Option.value ~default:"BENCH_PR10.json" (Sys.getenv_opt "CTS_BENCH_JSON")
 
 (* PR-2 baselines (BENCH_PR2.json, this machine): the perf targets PR 3's
    zero-allocation work was measured against. *)
@@ -1050,6 +1051,80 @@ let bench_lint () =
            (List.length r.Lint.Driver.suppressions)
            (!best *. 1e3) files_per_sec)
 
+(* LINT2: the typed pass (PR 10) — load every .cmt the bin-annot build
+   produced, extract per-function facts, and run the three typed
+   analyses (hot-path certification, domain-safety reachability, runtime
+   boundary).  Timed separately from LINT1 because the cost profile is
+   different: unmarshalling typedtrees dominates, not parsing. *)
+let bench_lint_typed () =
+  section "LINT2: ctslint typed pass (.cmt certification)";
+  let rec find_root dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else find_root parent
+  in
+  match
+    Option.bind (find_root (Sys.getcwd ())) Lint.Cmt_loader.find_build_dir
+  with
+  | None ->
+      Format.fprintf ppf
+        "bin-annot build not found from %s; section skipped@." (Sys.getcwd ())
+  | Some build_dir ->
+      let run () =
+        let units, _errors = Lint.Cmt_loader.load_build_dir build_dir in
+        let units =
+          Lint.Cmt_loader.under_paths
+            [ "lib"; "bin"; "bench"; "test"; "examples" ]
+            units
+        in
+        Lint.Typed_check.analyze (List.map Lint.Typed_facts.walk_unit units)
+      in
+      ignore (run () : Lint.Typed_check.result) (* warm: page in the cmts *);
+      let best = ref infinity in
+      let last = ref (run ()) in
+      for _ = 1 to 4 do
+        let t0 = Mc.Explore.wall () in
+        last := run ();
+        let dt = Mc.Explore.wall () -. t0 in
+        if dt < !best then best := dt
+      done;
+      let r = !last in
+      let roots = List.length r.Lint.Typed_check.r_roots in
+      let certified_roots =
+        List.length (List.filter snd r.Lint.Typed_check.r_roots)
+      in
+      let units_per_sec =
+        float_of_int r.Lint.Typed_check.r_units /. !best
+      in
+      Format.fprintf ppf
+        "%d unit(s), %d function(s), %d/%d root(s) certified, %d certified \
+         total, %d finding(s) in %.1f ms — %.0f units/s (best of 4)@."
+        r.Lint.Typed_check.r_units r.Lint.Typed_check.r_fns certified_roots
+        roots
+        (List.length r.Lint.Typed_check.r_certified)
+        (List.length r.Lint.Typed_check.r_findings)
+        (!best *. 1e3) units_per_sec;
+      json_add "lint_typed"
+        (Printf.sprintf
+           "{\"units\": %d, \"functions\": %d, \"hot_roots\": %d, \
+            \"hot_roots_certified\": %d, \"certified\": %d, \"findings\": \
+            %d, \"wall_ms\": %.1f, \"units_per_sec\": %.0f}"
+           r.Lint.Typed_check.r_units r.Lint.Typed_check.r_fns roots
+           certified_roots
+           (List.length r.Lint.Typed_check.r_certified)
+           (List.length r.Lint.Typed_check.r_findings)
+           (!best *. 1e3) units_per_sec);
+      (* deterministic invariant, not a timing: a finding or an
+         uncertified root means the hot path lost its zero-alloc
+         certificate, and CI's grep tier fails the job on this line *)
+      if r.Lint.Typed_check.r_findings <> [] || certified_roots < roots then
+        Format.fprintf ppf
+          "PERF WARNING (lint-typed): %d finding(s), %d/%d hot root(s) \
+           certified — the zero-alloc certificate does not hold@."
+          (List.length r.Lint.Typed_check.r_findings)
+          certified_roots roots
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrate                          *)
 
@@ -1168,6 +1243,7 @@ let () =
   bench_hier ();
   bench_scale ();
   bench_lint ();
+  bench_lint_typed ();
   run_micro ();
   emit_json ();
   Format.fprintf ppf "@.done.@."

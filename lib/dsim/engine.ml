@@ -52,8 +52,12 @@ let set_scheduler t s = t.scheduler <- s
 let probe_step_active s at =
   Obs.Sink.count s Obs.Metrics.Engine_events;
   if s.Obs.Sink.trace_steps then
-    Obs.Sink.instant s ~ts_ns:(Time.to_ns at) ~pid:0 ~sub:Obs.Subsystem.Dsim
-      ~name:"step" ~args:[]
+    (Obs.Sink.instant s ~ts_ns:(Time.to_ns at) ~pid:0 ~sub:Obs.Subsystem.Dsim
+       ~name:"step" ~args:[]
+    [@ctslint.allow
+      "hotpath-alloc"
+        "trace-event boxing is gated by [trace_steps]; runs that measure \
+         the hot path keep step tracing off"])
 [@@inline never]
 
 (* Per-step flight-recorder record.  Gated by [rec_on] exactly like
@@ -114,7 +118,7 @@ let fire_head t =
   t.steps <- t.steps + 1;
   probe_step t at;
   Event_queue.fire_min_exn t.queue
-[@@inline]
+[@@inline] [@@ctslint.hotpath]
 
 let step t =
   match t.scheduler with

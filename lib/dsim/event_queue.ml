@@ -88,6 +88,7 @@ let rec sift_up h i at seq pidx =
     else set_slot h i at seq pidx
   end
   else set_slot h i at seq pidx
+[@@ctslint.hotpath]
 
 (* [i] earlier than [j], both known < size. *)
 let lt_u h i j =
@@ -118,6 +119,7 @@ let rec sift_down h i at seq pidx =
       sift_down h smallest at seq pidx
     end
   end
+[@@ctslint.hotpath]
 
 let grow h fill_fn fill_v =
   let cap = Array.length h.at in
@@ -142,7 +144,12 @@ let grow h fill_fn fill_v =
   h.nfree <- h.nfree + (cap' - cap)
 
 let push h (at : Time.t) fn v =
-  if h.size = Array.length h.at then grow h fn v;
+  if h.size = Array.length h.at then
+    (grow h fn v
+    [@ctslint.allow
+      "hotpath-alloc"
+        "amortized capacity doubling; a steady-state push (pop rate = \
+         push rate) never grows"]);
   (* claim a payload slot; the free stack is non-empty whenever
      size < capacity, because live slots and free slots partition
      [0, capacity) *)
@@ -157,10 +164,12 @@ let push h (at : Time.t) fn v =
   h.size <- i + 1;
   if h.size > h.hwm then h.hwm <- h.size;
   sift_up h i (at :> int) seq slot
+[@@ctslint.hotpath]
 
 let min_time_exn h =
   if h.size = 0 then invalid_arg "Event_queue.min_time_exn: empty";
   (Obj.magic (Array.unsafe_get h.at 0 : int) : Time.t)
+[@@ctslint.hotpath]
 (* sound: Time.t = private int, and slot 0 was stored from a Time.t *)
 
 (* Release the root's payload slot (scrubbing both lanes) and restore the
@@ -177,6 +186,7 @@ let drop_min h slot =
       (Array.unsafe_get h.at last)
       (Array.unsafe_get h.seq last)
       (Array.unsafe_get h.pidx last)
+[@@ctslint.hotpath]
 
 (* Remove the earliest event and call [fn v] — the engine's per-event
    fast path.  The entry is removed (and its slot scrubbed and freed)
@@ -188,7 +198,12 @@ let fire_min_exn h =
   let fn = Array.unsafe_get h.pfn slot in
   let v = Array.unsafe_get h.pv slot in
   drop_min h slot;
-  fn v
+  (fn v
+  [@ctslint.allow
+    "hotpath-alloc"
+      "the handler call is the certified region's boundary: what each \
+       handler allocates is its own account, audited at its definition"])
+[@@ctslint.hotpath]
 
 let pop_min_exn h =
   if h.size = 0 then invalid_arg "Event_queue.pop_min_exn: empty";

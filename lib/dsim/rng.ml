@@ -46,6 +46,7 @@ let bits (t : t) =
   in
   let z = Int64.logxor z (Int64.shift_right_logical z 31) in
   Int64.to_int (Int64.shift_right_logical z 2)
+[@@ctslint.hotpath]
 
 (* Rejection sampling keeps the draw exactly uniform.  Top-level so the
    rejection loop needs no closure. *)

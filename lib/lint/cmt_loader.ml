@@ -1,0 +1,121 @@
+(* Discover and load the typedtrees the typed pass runs on.
+
+   Dune's default build already passes [-bin-annot], so every compiled
+   module leaves a .cmt under [_build/default/**/.*.objs/byte/].  We walk
+   that tree, read each .cmt with [Cmt_format.read_cmt], and keep the
+   implementation typedtrees together with the *source* path the
+   compiler recorded ([cmt_sourcefile] is relative to the build context
+   root, e.g. "lib/dsim/event_queue.ml") — which is exactly the path
+   vocabulary the syntactic pass and the suppression inventory use.
+
+   Generated wrapper modules (dune's "dsim.ml-gen" alias files) carry no
+   user code and are skipped.  A .cmt written by a different compiler
+   version fails to unmarshal; that is reported as a [cmt-error] finding
+   rather than crashing the lint. *)
+
+type unit_info = {
+  ui_file : string;  (* source path, build-context-relative *)
+  ui_modname : string;  (* normalized: "Dsim.Event_queue" *)
+  ui_str : Typedtree.structure;
+}
+
+let normalize_modname = Rules.normalize_path
+
+(* The build context root: [_build/default] under [root] when we run
+   from a checkout, or [root] itself when we already run *inside* the
+   context (the @lint-typed dune action does). *)
+let find_build_dir root =
+  let candidate = Filename.concat (Filename.concat root "_build") "default" in
+  if Sys.file_exists candidate && Sys.is_directory candidate then
+    Some candidate
+  else if
+    (* inside a build context there is no nested _build, but the .objs
+       directories are right here *)
+    Sys.file_exists (Filename.concat root "lib")
+  then Some root
+  else None
+
+let rec collect_cmt acc path =
+  if Sys.file_exists path && Sys.is_directory path then
+    Array.to_list (Sys.readdir path)
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if String.length name = 0 then acc
+           else if name = "_build" then acc
+           else collect_cmt acc (Filename.concat path name))
+         acc
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+let load_cmt path =
+  match Cmt_format.read_cmt path with
+  | cmt -> (
+      match (cmt.Cmt_format.cmt_annots, cmt.Cmt_format.cmt_sourcefile) with
+      | Cmt_format.Implementation str, Some src
+        when not (Filename.check_suffix src ".ml-gen") ->
+          Ok
+            (Some
+               {
+                 ui_file = src;
+                 ui_modname = normalize_modname cmt.Cmt_format.cmt_modname;
+                 ui_str = str;
+               })
+      | _ -> Ok None (* interface-only, packed, or generated wrapper *))
+  | exception _ ->
+      Error
+        {
+          Finding.file = path;
+          line = 1;
+          col = 0;
+          rule = "cmt-error";
+          message =
+            "cannot read .cmt (compiler version mismatch? rebuild with \
+             `dune build`)";
+        }
+
+(* Load every implementation .cmt under [build_dir].  Units are sorted
+   and de-duplicated by source file (a module compiled into several
+   executables leaves several identical cmts) so the analysis and its
+   report order are stable. *)
+let load_build_dir build_dir =
+  let cmts = List.rev (collect_cmt [] build_dir) in
+  let seen = Hashtbl.create 128 in
+  let units, errors =
+    List.fold_left
+      (fun (us, es) path ->
+        match load_cmt path with
+        | Ok (Some u) ->
+            if Hashtbl.mem seen u.ui_file then (us, es)
+            else begin
+              Hashtbl.add seen u.ui_file ();
+              (u :: us, es)
+            end
+        | Ok None -> (us, es)
+        | Error e -> (us, e :: es))
+      ([], []) cmts
+  in
+  ( List.sort (fun a b -> String.compare a.ui_file b.ui_file) units,
+    List.rev errors )
+
+(* Restrict to units whose source lives under one of [paths] (normalized
+   to build-context-relative, "lib/dsim" style). *)
+let under_paths paths units =
+  let norm p =
+    let p =
+      if Filename.is_relative p then p
+      else Filename.basename p (* best effort for absolute args *)
+    in
+    if Filename.check_suffix p "/" then Filename.chop_suffix p "/" else p
+  in
+  let paths = List.map norm paths in
+  List.filter
+    (fun u ->
+      List.exists
+        (fun p ->
+          let lp = String.length p in
+          String.length u.ui_file > lp
+          && String.sub u.ui_file 0 lp = p
+          && (u.ui_file.[lp] = '/' || p = ""))
+        paths)
+    units

@@ -37,48 +37,95 @@ let report ctx ~rule ~(loc : Location.t) message =
     List.find_opt (fun s -> String.equal s.Suppress.s_rule rule) ctx.active
   with
   | Some s ->
-      s.Suppress.s_used <- true;
+      s.Suppress.s_used_syn <- true;
       if not ctx.respect_suppressions then
         ctx.out <- Finding.v ~file:ctx.file ~loc ~rule message :: ctx.out
   | None -> ctx.out <- Finding.v ~file:ctx.file ~loc ~rule message :: ctx.out
 
 (* Parse one attribute; well-formed allows are pushed by the caller,
-   malformed ones become [bad-suppression] findings on the spot. *)
+   malformed ones become [bad-suppression] findings on the spot.  The
+   sibling annotations ([@ctslint.hotpath], [@ctslint.domain_owned])
+   get their payload hygiene checked here too — the syntactic pass owns
+   attribute well-formedness for both passes — but only allows are
+   returned for the active stack. *)
 let suppression_of_attr ctx ~scope (attr : Parsetree.attribute) =
   let loc = Suppress.loc attr in
-  match Suppress.parse attr with
-  | Suppress.Not_allow -> None
-  | Suppress.Malformed msg ->
-      report ctx ~rule:"bad-suppression" ~loc msg;
-      None
-  | Suppress.Allow { rule; reason } -> (
-      if not (Rules.known rule) then begin
+  let attr_txt = attr.Parsetree.attr_name.Location.txt in
+  if Suppress.is_hotpath attr then begin
+    (match attr.Parsetree.attr_payload with
+    | Parsetree.PStr [] -> ()
+    | _ ->
         report ctx ~rule:"bad-suppression" ~loc
-          (Printf.sprintf "unknown rule %S" rule);
+          "[@ctslint.hotpath] takes no payload");
+    None
+  end
+  else
+    match Suppress.parse_domain_owned attr with
+    | Suppress.Owned (Some reason) when reason <> "" ->
+        let s =
+          {
+            Suppress.s_file = ctx.file;
+            s_line = loc.Location.loc_start.Lexing.pos_lnum;
+            s_rule = "domain-unsafe";
+            s_reason = reason;
+            s_scope = scope;
+            s_kind = Suppress.Domain_owned;
+            s_used_syn = false;
+            s_used_typed = false;
+          }
+        in
+        ctx.supps <- s :: ctx.supps;
+        None (* ownership declarations never join the allow stack *)
+    | Suppress.Owned _ ->
+        report ctx ~rule:"bad-suppression" ~loc
+          "[@ctslint.domain_owned] carries no reason; shared mutable state \
+           must say why it is safe across domains";
         None
-      end
-      else
-        match reason with
-        | None | Some "" ->
-            report ctx ~rule:"bad-suppression" ~loc
-              (Printf.sprintf
-                 "suppression of %S carries no reason; every exception to \
-                  the determinism contract must say why"
-                 rule);
+    | Suppress.Not_owned -> (
+        match Suppress.parse attr with
+        | Suppress.Not_allow ->
+            (* any other ctslint.* attribute is a typo we must not let
+               silently pass for an annotation *)
+            if
+              String.length attr_txt >= 8
+              && String.sub attr_txt 0 8 = "ctslint."
+            then
+              report ctx ~rule:"bad-suppression" ~loc
+                (Printf.sprintf "unknown ctslint annotation %S" attr_txt);
             None
-        | Some reason ->
-            let s =
-              {
-                Suppress.s_file = ctx.file;
-                s_line = loc.Location.loc_start.Lexing.pos_lnum;
-                s_rule = rule;
-                s_reason = reason;
-                s_scope = scope;
-                s_used = false;
-              }
-            in
-            ctx.supps <- s :: ctx.supps;
-            Some s)
+        | Suppress.Malformed msg ->
+            report ctx ~rule:"bad-suppression" ~loc msg;
+            None
+        | Suppress.Allow { rule; reason } -> (
+            if not (Rules.known rule) then begin
+              report ctx ~rule:"bad-suppression" ~loc
+                (Printf.sprintf "unknown rule %S" rule);
+              None
+            end
+            else
+              match reason with
+              | None | Some "" ->
+                  report ctx ~rule:"bad-suppression" ~loc
+                    (Printf.sprintf
+                       "suppression of %S carries no reason; every \
+                        exception to the determinism contract must say why"
+                       rule);
+                  None
+              | Some reason ->
+                  let s =
+                    {
+                      Suppress.s_file = ctx.file;
+                      s_line = loc.Location.loc_start.Lexing.pos_lnum;
+                      s_rule = rule;
+                      s_reason = reason;
+                      s_scope = scope;
+                      s_kind = Suppress.Allow;
+                      s_used_syn = false;
+                      s_used_typed = false;
+                    }
+                  in
+                  ctx.supps <- s :: ctx.supps;
+                  Some s))
 
 let push_attrs ctx ~scope attrs =
   List.filter_map (suppression_of_attr ctx ~scope) attrs
@@ -94,10 +141,14 @@ let pop_attrs ctx pushed =
               "phys-equality"
                 "removing exactly this stack entry, not a structural twin"])
           ctx.active;
+      (* Unused scoped allows are flagged here only for syntactic rules:
+         an allow for a typed rule can only be judged once the typed
+         pass has walked this file's cmt (Typed_check.unused_findings). *)
       if
-        (not s.Suppress.s_used)
+        (not (Suppress.used s))
         && s.Suppress.s_scope = Suppress.Scoped
         && ctx.respect_suppressions
+        && Rules.pass_of s.Suppress.s_rule = Rules.Syntactic
       then
         ctx.out <-
           Finding.v ~file:ctx.file
@@ -264,7 +315,10 @@ let lint_structure ~file ?(respect_suppressions = true) str =
   if respect_suppressions then
     List.iter
       (fun (s : Suppress.t) ->
-        if not s.Suppress.s_used then
+        if
+          (not (Suppress.used s))
+          && Rules.pass_of s.Suppress.s_rule = Rules.Syntactic
+        then
           ctx.out <-
             {
               Finding.file;

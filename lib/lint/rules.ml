@@ -9,9 +9,15 @@
    its seed and schedule.  Each rule below names one way that assumption
    silently breaks. *)
 
+(* Which analysis pass enforces a rule.  Syntactic rules run on the
+   parsetree of every .ml; typed rules need the typedtree (.cmt files
+   from the bin-annot build) — see Typed_facts / Typed_check. *)
+type pass = Syntactic | Typed
+
 type t = {
   name : string;
   summary : string;
+  pass : pass;
   allowed_in : string list;
       (* path fragments ("lib/clock/", "lib/mc/pool.ml"): files matching
          any fragment are exempt — the hard whitelist, as opposed to the
@@ -25,6 +31,7 @@ let all =
       summary =
         "real-time reads (Unix.gettimeofday/time/sleep, Sys.time, \
          monotonic-clock) outside lib/clock";
+      pass = Syntactic;
       allowed_in = [ "lib/clock/" ];
     };
     {
@@ -32,11 +39,13 @@ let all =
       summary =
         "Hashtbl.iter/fold whose callback order escapes (handlers, sends, \
          list construction) — hash-bucket order is not deterministic";
+      pass = Syntactic;
       allowed_in = [];
     };
     {
       name = "unseeded-random";
       summary = "ambient Random outside lib/dsim's seeded Rng breaks replay";
+      pass = Syntactic;
       allowed_in = [ "lib/dsim/rng.ml" ];
     };
     {
@@ -44,11 +53,13 @@ let all =
       summary =
         "physical equality (==/!=) is representation-dependent; sanctioned \
          sentinel checks must be annotated";
+      pass = Syntactic;
       allowed_in = [];
     };
     {
       name = "exn-swallow";
       summary = "`with _ ->` discards the exception it caught";
+      pass = Syntactic;
       allowed_in = [];
     };
     {
@@ -56,24 +67,62 @@ let all =
       summary =
         "Domain.spawn/self/join outside Mc.Pool bypasses the deterministic \
          merge";
+      pass = Syntactic;
       allowed_in = [ "lib/mc/pool.ml" ];
+    };
+    {
+      name = "hotpath-alloc";
+      summary =
+        "a [@ctslint.hotpath] function (or a callee on its certified call \
+         graph) allocates: closures, tuples/records/variants, partial \
+         application, boxed float/int64 escapes, or calls out of the \
+         certified set";
+      pass = Typed;
+      allowed_in = [];
+    };
+    {
+      name = "domain-unsafe";
+      summary =
+        "module-level mutable state reachable from Mc.Pool worker code \
+         that is neither domain-local (DLS), lock-protected, nor \
+         annotated [@ctslint.domain_owned]";
+      pass = Typed;
+      allowed_in = [];
+    };
+    {
+      name = "runtime-boundary";
+      summary =
+        "Unix.*/Sys.time/blocking console I/O outside the declared \
+         runtime layer (lib/rt_real); real wall-clock and host I/O must \
+         stay behind the runtime interface";
+      pass = Typed;
+      allowed_in = [ "lib/rt_real/" ];
     };
     {
       name = "bad-suppression";
       summary =
-        "[@ctslint.allow] with a missing reason, malformed payload, or \
-         unknown rule name";
+        "[@ctslint.allow]/[@ctslint.domain_owned] with a missing reason, \
+         malformed payload, or unknown rule name";
+      pass = Syntactic;
       allowed_in = [];
     };
     {
       name = "unused-allow";
       summary = "[@ctslint.allow] that suppresses nothing";
+      pass = Syntactic;
       allowed_in = [];
     };
   ]
 
 let known name = List.exists (fun r -> String.equal r.name name) all
 let find name = List.find (fun r -> String.equal r.name name) all
+
+let pass_of name =
+  match List.find_opt (fun r -> String.equal r.name name) all with
+  | Some r -> r.pass
+  | None -> Syntactic
+
+let pass_name = function Syntactic -> "syntactic" | Typed -> "typed"
 
 (* Path fragments use '/' regardless of platform; [file] is the path the
    driver was given (absolute or root-relative). *)
@@ -148,3 +197,144 @@ let sort_idents =
 
 let is_sort_path path =
   List.exists (fun p -> matches_suffix ~path p) sort_idents
+
+(* ------------------------------------------------------------------ *)
+(* Typed-pass policy tables (hotpath-alloc / domain-unsafe /
+   runtime-boundary).  Paths here are the *normalized* dotted names the
+   typed pass produces: "Dsim__Event_queue" becomes "Dsim.Event_queue",
+   and a leading "Stdlib." is stripped, so "Stdlib.Array.make" and a
+   direct "Array.make" compare equal. *)
+
+let normalize_path name =
+  let b = Buffer.create (String.length name) in
+  let n = String.length name in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && name.[!i] = '_' && name.[!i + 1] = '_' then begin
+      Buffer.add_char b '.';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char b name.[!i];
+      incr i
+    end
+  done;
+  let s = Buffer.contents b in
+  let strip pre s =
+    let lp = String.length pre in
+    if String.length s > lp && String.sub s 0 lp = pre then
+      String.sub s lp (String.length s - lp)
+    else s
+  in
+  strip "Stdlib." (strip "Dune.exe." s)
+
+(* Compiler primitives ("%"-externals) compile to inline code and are
+   allocation-free, with the exceptions below.  Boxed-result primitives
+   (float / int64 arithmetic, bigarray reads of boxed kinds) are still
+   fine: the compiler unboxes them locally, and the separate escape
+   checks in Typed_check flag the cases where a boxed value leaves the
+   function.  Non-"%" externals are C stubs; those allocate unless
+   whitelisted. *)
+let allocating_prims =
+  [
+    "%makemutable" (* ref *);
+    "%lazy_force";
+    "%obj_dup";
+    "%apply" (* @@: applies an arbitrary function *);
+    "%revapply" (* |> *);
+  ]
+
+let nonalloc_c_stubs =
+  [
+    "caml_int_compare";
+    "caml_int64_compare";
+    "caml_float_compare";
+    "caml_string_compare" (* compares in place; no allocation *);
+  ]
+
+let prim_allocates name =
+  if String.length name > 0 && name.[0] = '%' then
+    List.mem name allocating_prims
+  else not (List.mem name nonalloc_c_stubs)
+
+(* Non-primitive functions sanctioned inside certified hot paths.
+   [invalid_arg]/[failwith] allocate their exception, but only on the
+   raising path — the guard that never fires in a measured run.  A
+   hotpath function whose *normal* path calls these is still flagged:
+   the call's result type is 'a, so it can only sit in tail/guard
+   position. *)
+let cold_error_paths = [ "invalid_arg"; "failwith"; "raise"; "raise_notrace" ]
+
+let is_cold_error path = List.mem (normalize_path path) cold_error_paths
+
+(* --- runtime-boundary --------------------------------------------- *)
+
+(* Whole-module fences (any member is a runtime call) and exact idents.
+   [Monotonic_clock.now] is bechamel's raw wall clock — the project
+   wrappers over it (Mc.Explore.wall, Obs.Attrib.now_ns) are annotated
+   at definition, so calling the *wrapper* is visible there, once. *)
+let runtime_module_prefixes = [ "Unix."; "Thread."; "UnixLabels." ]
+
+let runtime_idents =
+  [
+    "Sys.time";
+    "Monotonic_clock.now";
+    "input_line";
+    "read_line";
+    "read_int";
+    "read_int_opt";
+    "read_float";
+    "read_float_opt";
+  ]
+
+let is_runtime_path name =
+  let n = normalize_path name in
+  List.mem n runtime_idents
+  || List.exists
+       (fun pre ->
+         String.length n > String.length pre
+         && String.sub n 0 (String.length pre) = pre)
+       runtime_module_prefixes
+
+(* --- domain-unsafe ------------------------------------------------- *)
+
+(* Constructors whose module-level result is shared mutable state. *)
+let mutable_ctor_paths =
+  [
+    "Hashtbl.create";
+    "Array.make";
+    "Array.init";
+    "Array.create_float";
+    "Bytes.create";
+    "Bytes.make";
+    "Buffer.create";
+    "Queue.create";
+    "Stack.create";
+  ]
+
+(* Constructors that are safe to share: domain-local storage, locks,
+   atomics, and lock-like coordination primitives. *)
+let safe_ctor_paths =
+  [
+    "Domain.DLS.new_key";
+    "Mutex.create";
+    "Atomic.make";
+    "Condition.create";
+    "Semaphore.Counting.make";
+    "Semaphore.Binary.make";
+  ]
+
+let is_mutable_ctor path =
+  List.mem (normalize_path path) mutable_ctor_paths
+
+let is_safe_ctor path = List.mem (normalize_path path) safe_ctor_paths
+
+(* Files whose functions run on pool worker domains: every function they
+   define is a reachability root for the domain-unsafe analysis (worker
+   task closures live in this file, and the facts of nested closures are
+   attributed to their enclosing top-level binding). *)
+let domain_root_files = [ "lib/mc/pool.ml" ]
+
+let is_domain_root_file file =
+  List.exists (fun frag -> contains_substring ~sub:frag file)
+    domain_root_files

@@ -14,9 +14,25 @@
    unknown rule is itself a finding ([bad-suppression]), and a suppression
    that silences nothing is flagged too ([unused-allow]) — so the set
    printed by [ctslint --list-suppressions] is exactly the set of live,
-   justified exceptions to the determinism contract. *)
+   justified exceptions to the determinism contract.
+
+   Rules are enforced by one of two passes (syntactic parsetree walk vs
+   typed .cmt analysis), and a suppression records *which pass consumed
+   it*: when a rule moves between passes, the unused-allow judgment
+   follows it instead of going stale.  An allow for a typed rule is only
+   judged unused when the typed pass actually ran over its file.
+
+   Two sibling annotations ride the same machinery:
+
+     let stats = ref [] [@@ctslint.domain_owned "reason"]
+
+   declares module-level mutable state as intentionally shared (checked
+   by the typed domain-unsafe rule), and [@@ctslint.hotpath] (no
+   payload) marks a function whose transitive call graph must be
+   allocation-free. *)
 
 type scope = File | Scoped
+type kind = Allow | Domain_owned
 
 type t = {
   s_file : string;
@@ -24,8 +40,20 @@ type t = {
   s_rule : string;
   s_reason : string;
   s_scope : scope;
-  mutable s_used : bool;
+  s_kind : kind;
+  mutable s_used_syn : bool;  (* consumed by the syntactic pass *)
+  mutable s_used_typed : bool;  (* consumed by the typed pass *)
 }
+
+let used t = t.s_used_syn || t.s_used_typed
+
+(* Which pass(es) consumed this suppression, for the inventory. *)
+let pass_label t =
+  match (t.s_used_syn, t.s_used_typed) with
+  | true, true -> "both passes"
+  | true, false -> "syntactic"
+  | false, true -> "typed"
+  | false, false -> "unused"
 
 type parsed =
   | Not_allow  (* some other attribute; ignore *)
@@ -33,6 +61,8 @@ type parsed =
   | Malformed of string
 
 let attr_name = "ctslint.allow"
+let hotpath_attr = "ctslint.hotpath"
+let domain_owned_attr = "ctslint.domain_owned"
 
 let string_const (e : Parsetree.expression) =
   match e.Parsetree.pexp_desc with
@@ -65,9 +95,53 @@ let parse (attr : Parsetree.attribute) =
                 Malformed "expected two string literals: rule and reason"))
     | _ -> Malformed "expected two string literals: rule and reason"
 
+(* [@ctslint.hotpath] takes no payload. *)
+let is_hotpath (attr : Parsetree.attribute) =
+  String.equal attr.Parsetree.attr_name.Location.txt hotpath_attr
+
+type owned = Not_owned | Owned of string option (* reason *)
+
+(* [@ctslint.domain_owned "reason"] — a single string literal. *)
+let parse_domain_owned (attr : Parsetree.attribute) =
+  if
+    not
+      (String.equal attr.Parsetree.attr_name.Location.txt domain_owned_attr)
+  then Not_owned
+  else
+    match attr.Parsetree.attr_payload with
+    | Parsetree.PStr
+        [ { Parsetree.pstr_desc = Parsetree.Pstr_eval (e, _); _ } ] ->
+        Owned (string_const e)
+    | _ -> Owned None
+
 let loc (attr : Parsetree.attribute) = attr.Parsetree.attr_loc
 
+(* Merge key: one source attribute can be seen by both passes (each walks
+   its own tree); the report unifies the two sightings. *)
+let key t = (t.s_file, t.s_line, t.s_rule)
+
+let merge_into ~(into : t list) (extra : t list) =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace tbl (key s) s) into;
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt tbl (key s) with
+      | Some s0 ->
+          s0.s_used_syn <- s0.s_used_syn || s.s_used_syn;
+          s0.s_used_typed <- s0.s_used_typed || s.s_used_typed
+      | None -> Hashtbl.replace tbl (key s) s)
+    extra;
+  Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+  |> List.sort (fun a b ->
+         let c = String.compare a.s_file b.s_file in
+         if c <> 0 then c
+         else
+           let c = Int.compare a.s_line b.s_line in
+           if c <> 0 then c else String.compare a.s_rule b.s_rule)
+
 let to_string t =
-  Printf.sprintf "%s:%d: allow %s — %s%s" t.s_file t.s_line t.s_rule
-    t.s_reason
+  Printf.sprintf "%s:%d: %s %s — %s%s [%s]" t.s_file t.s_line
+    (match t.s_kind with Allow -> "allow" | Domain_owned -> "domain_owned")
+    t.s_rule t.s_reason
     (match t.s_scope with File -> " (file-wide)" | Scoped -> "")
+    (pass_label t)

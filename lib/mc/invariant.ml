@@ -182,6 +182,9 @@ let no_rollback =
 
 let builtin = [ monotone; agreement; single_synchronizer; no_rollback ]
 let registered : t list ref = ref []
+[@@ctslint.domain_owned
+  "invariant registry: populated on the main domain while setting up a \
+   scenario, before Mc.Pool workers start; workers only read it (all)"]
 let register inv = registered := !registered @ [ inv ]
 let reset_registered () = registered := []
 let all () = builtin @ !registered

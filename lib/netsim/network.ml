@@ -235,21 +235,21 @@ let rec_net t ~kind ~node ~a ~b =
     Obs.Sink.rec_event s ~kind
       ~ts_us:(Dsim.Time.to_ns (Dsim.Engine.now t.eng) / 1000)
       ~node ~a ~b
-[@@inline]
+[@@inline] [@@ctslint.hotpath]
 
 let rec_sent t ~src ~dst =
   rec_net t ~kind:Obs.Recorder.k_send ~node:(Node_id.to_int src) ~a:dst ~b:0
-[@@inline]
+[@@inline] [@@ctslint.hotpath]
 
 let rec_delivered t ~src ~dst ~pos =
   rec_net t ~kind:Obs.Recorder.k_deliver ~node:(Node_id.to_int dst)
     ~a:(Node_id.to_int src) ~b:pos
-[@@inline]
+[@@inline] [@@ctslint.hotpath]
 
 let rec_dropped t ~src ~dst ~reason =
   rec_net t ~kind:Obs.Recorder.k_drop ~node:(Node_id.to_int dst)
     ~a:(Node_id.to_int src) ~b:reason
-[@@inline]
+[@@inline] [@@ctslint.hotpath]
 
 (* Unified emission: the bounded packet trace keeps its historical format
    (tests and [Mc.Explore.packet_log] read it unchanged) while the same

@@ -39,7 +39,7 @@ let emit t ~kind ~ts_us ~node ~a ~b =
   let p = t.pos + 1 in
   t.pos <- (if p = t.cap then 0 else p);
   t.total <- t.total + 1
-[@@inline]
+[@@inline] [@@ctslint.hotpath]
 
 (* ------------------------------------------------------------------ *)
 (* Record kinds.  Adding a kind means extending [kind_name],

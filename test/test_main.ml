@@ -6,4 +6,5 @@ let () =
    @ Test_rpc.suites @ Test_faults.suites @ Test_totem2.suites
    @ Test_scenario.suites @ Test_interpose.suites @ Test_units.suites
    @ Test_props.suites @ Test_eventq.suites @ Test_mc.suites
-   @ Test_obs.suites @ Test_flight.suites @ Test_hier.suites @ Test_lint.suites)
+   @ Test_obs.suites @ Test_flight.suites @ Test_hier.suites @ Test_lint.suites
+   @ Test_lint_typed.suites)
